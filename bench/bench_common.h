@@ -1,0 +1,64 @@
+// Shared helpers for the experiment-reproduction benches. Each bench binary
+// regenerates one table or figure from the paper's evaluation (section 6),
+// printing a paper-style table from the simulation and then running any
+// registered google-benchmark micro-benchmarks of the hot code paths.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/locus/system.h"
+
+namespace locus {
+namespace bench {
+
+// Snapshot of the global counters, for before/after differencing.
+class StatDelta {
+ public:
+  explicit StatDelta(StatRegistry* stats) : stats_(stats), base_(stats->counters()) {}
+
+  int64_t Get(const std::string& name) const {
+    auto it = base_.find(name);
+    int64_t before = it == base_.end() ? 0 : it->second;
+    return stats_->Get(name) - before;
+  }
+
+  // Sum of all write counters matching the Figure 5 log/data categories.
+  int64_t Writes(const std::string& category) const { return Get("io.writes." + category); }
+
+ private:
+  StatRegistry* stats_;
+  std::map<std::string, int64_t> base_;
+};
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  printf("\n==================================================================\n");
+  printf("%s\n", title);
+  printf("  (reproduces %s)\n", paper_ref);
+  printf("==================================================================\n");
+}
+
+// Creates `path` at `site` with `bytes` of committed content.
+inline void MakeCommittedFile(System& system, SiteId site, const std::string& path,
+                              int64_t bytes, int replication = 1) {
+  system.Spawn(site, "mkfile", [path, bytes, replication](Syscalls& sys) {
+    if (sys.Creat(path, replication) != Err::kOk) {
+      return;
+    }
+    auto fd = sys.Open(path, {.read = true, .write = true});
+    if (!fd.ok()) {
+      return;
+    }
+    sys.Write(fd.value, std::vector<uint8_t>(bytes, '.'));
+    sys.Close(fd.value);
+  });
+  system.RunFor(Seconds(30));
+}
+
+}  // namespace bench
+}  // namespace locus
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,85 @@
+// Experiment E1: Figure 1 — the transaction synchronization (lock
+// compatibility) rules, printed directly from the implementation, plus
+// micro-benchmarks of the compatibility checks.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/lock/lock_list.h"
+
+namespace locus {
+namespace bench {
+namespace {
+
+const char* CellFor(LockMode held, LockMode acting) {
+  switch (CompatibleAccess(held, acting)) {
+    case AccessAllowed::kReadWrite:
+      return "r/w";
+    case AccessAllowed::kReadOnly:
+      return "read";
+    case AccessAllowed::kNone:
+      return "no";
+  }
+  return "?";
+}
+
+void RunTable() {
+  printf("\n==================================================================\n");
+  printf("Transaction synchronization rules\n");
+  printf("  (reproduces Figure 1)\n");
+  printf("==================================================================\n");
+  const LockMode modes[] = {LockMode::kUnix, LockMode::kShared, LockMode::kExclusive};
+  printf("%-12s", "");
+  for (LockMode col : modes) {
+    printf("%-12s", LockModeName(col));
+  }
+  printf("\n");
+  for (LockMode acting : modes) {
+    printf("%-12s", LockModeName(acting));
+    for (LockMode held : modes) {
+      printf("%-12s", CellFor(held, acting));
+    }
+    printf("\n");
+  }
+  printf("\n(rows: the accessor's mode; columns: the mode held by another\n");
+  printf("owner; cells: what the accessor may do. Expected per the paper:\n");
+  printf("unix/unix r/w; shared grants read to unix and shared; exclusive\n");
+  printf("grants nothing.)\n");
+}
+
+void BM_CompatibleAccess(benchmark::State& state) {
+  int i = 0;
+  const LockMode modes[] = {LockMode::kUnix, LockMode::kShared, LockMode::kExclusive};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompatibleAccess(modes[i % 3], modes[(i / 3) % 3]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CompatibleAccess);
+
+void BM_RangeSetAddRemove(benchmark::State& state) {
+  for (auto _ : state) {
+    RangeSet set;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      set.Add(ByteRange{(i * 37) % 1000, 16});
+    }
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      set.Remove(ByteRange{(i * 53) % 1000, 8});
+    }
+    benchmark::DoNotOptimize(set.TotalBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_RangeSetAddRemove)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace bench
+}  // namespace locus
+
+int main(int argc, char** argv) {
+  locus::bench::RunTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

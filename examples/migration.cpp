@@ -1,0 +1,75 @@
+// Migration: a transaction whose processes move around the network while it
+// runs (section 4.1).
+//
+// The top-level process begins a transaction at site 0, spawns workers at
+// every site (all members of the same transaction, sharing its locks), then
+// migrates twice while the workers complete — exercising the file-list merge
+// race the paper solves with the in-transit marking — and finally commits
+// from a site it never started on.
+
+#include <cstdio>
+#include <string>
+
+#include "src/locus/system.h"
+
+using namespace locus;
+
+int main() {
+  System system(3);
+
+  system.Spawn(0, "migrator", [&](Syscalls& sys) {
+    // A shared result file, 3 slots of 20 bytes.
+    sys.Creat("/results");
+    auto init = sys.Open("/results", {.read = true, .write = true});
+    sys.WriteString(init.value, std::string(60, '-'));
+    sys.Close(init.value);
+
+    printf("top-level process starts at site %d\n", sys.CurrentSite());
+    sys.BeginTrans();
+    printf("transaction %s begun\n", ToString(sys.CurrentTxn()).c_str());
+
+    // Workers at every site, each filling its own record of the shared file.
+    // They inherit the transaction (section 3.1) and its locks.
+    for (SiteId s = 0; s < 3; ++s) {
+      sys.Fork(s, [s](Syscalls& worker) {
+        printf("  worker at site %d joins %s\n", worker.CurrentSite(),
+               ToString(worker.CurrentTxn()).c_str());
+        auto fd = worker.Open("/results", {.read = true, .write = true});
+        worker.Seek(fd.value, s * 20);
+        worker.Lock(fd.value, 20, LockOp::kExclusive);
+        std::string record = "site" + std::to_string(s) + "-data";
+        record.resize(20, '.');
+        worker.WriteString(fd.value, record);
+        worker.Compute(Milliseconds(50 + 40 * s));  // Staggered completion.
+        worker.Close(fd.value);
+        // Worker exits here: its file-list chases the migrating top-level
+        // process with retries (the section 4.1 race).
+      });
+    }
+
+    // Migrate while the workers are finishing.
+    sys.Migrate(1);
+    printf("top-level process now at site %d (mid-transaction)\n", sys.CurrentSite());
+    sys.Compute(Milliseconds(60));
+    sys.Migrate(2);
+    printf("top-level process now at site %d\n", sys.CurrentSite());
+
+    sys.WaitChildren();
+    Err outcome = sys.EndTrans();  // Two-phase commit coordinated from site 2.
+    printf("EndTrans from site %d: %s\n", sys.CurrentSite(), ErrName(outcome));
+
+    sys.Compute(Seconds(1));  // Let phase two finish.
+    auto fd = sys.Open("/results", {});
+    auto data = sys.Read(fd.value, 60);
+    sys.Close(fd.value);
+    printf("result file: %s\n",
+           std::string(data.value.begin(), data.value.end()).c_str());
+  });
+
+  system.RunFor(Seconds(120));
+  printf("migrations: %lld, file-list merges: %lld, merge retries: %lld\n",
+         static_cast<long long>(system.stats().Get("proc.migrations")),
+         static_cast<long long>(system.stats().Get("txn.merges")),
+         static_cast<long long>(system.stats().Get("txn.merge_retries")));
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "src/baseline/nested_txn.h"
+
+#include <cassert>
+
+namespace locus {
+
+void NestedTxnEngine::Charge(int64_t instructions) {
+  stats_->Add("nested.instructions", instructions);
+  if (Simulation::Current() != nullptr) {
+    sim_->BurnInstructions(instructions);
+  }
+}
+
+void NestedTxnEngine::BeginTop() {
+  assert(!active_);
+  active_ = true;
+  working_ = committed_;
+  frames_.clear();
+  frames_.push_back(Frame{});
+  simple_nesting_ = 1;
+  if (mode_ == Mode::kFullNested) {
+    // The earlier mechanism ran even the top level as a dedicated process.
+    Charge(kHeavyProcessCreateInstructions + kVersionFramePushInstructions);
+  } else {
+    Charge(kCounterBumpInstructions);
+  }
+}
+
+void NestedTxnEngine::BeginSub() {
+  assert(active_);
+  if (mode_ == Mode::kFullNested) {
+    frames_.push_back(Frame{});
+    Charge(kHeavyProcessCreateInstructions + kVersionFramePushInstructions);
+    stats_->Add("nested.subprocesses");
+  } else {
+    simple_nesting_++;
+    Charge(kCounterBumpInstructions);
+  }
+}
+
+void NestedTxnEngine::Write(int64_t key, int64_t value) {
+  assert(active_);
+  Frame& frame = frames_.back();
+  if (frame.undo.find(key) == frame.undo.end()) {
+    auto it = working_.find(key);
+    frame.undo[key] = {it != working_.end(), it != working_.end() ? it->second : 0};
+    if (mode_ == Mode::kFullNested) {
+      Charge(kVersionEntryInstructions);
+    }
+  }
+  working_[key] = value;
+}
+
+int64_t NestedTxnEngine::Read(int64_t key) const {
+  auto it = working_.find(key);
+  return it == working_.end() ? 0 : it->second;
+}
+
+void NestedTxnEngine::CommitSub() {
+  assert(active_);
+  if (mode_ == Mode::kSimpleNested) {
+    assert(simple_nesting_ > 1);
+    simple_nesting_--;
+    Charge(kCounterBumpInstructions);
+    return;
+  }
+  assert(frames_.size() > 1);
+  Frame frame = std::move(frames_.back());
+  frames_.pop_back();
+  // Merge: the parent inherits undo entries for keys it has not itself
+  // touched (so aborting the parent later still restores pre-sub values).
+  Frame& parent = frames_.back();
+  for (auto& [key, old] : frame.undo) {
+    Charge(kVersionMergeInstructions);
+    parent.undo.try_emplace(key, old);
+  }
+  Charge(kHeavyProcessTeardownInstructions);
+}
+
+void NestedTxnEngine::AbortSub() {
+  assert(active_);
+  if (mode_ == Mode::kSimpleNested) {
+    // The paper's design: any failure aborts the whole transaction.
+    AbortTop();
+    return;
+  }
+  assert(frames_.size() > 1);
+  Frame frame = std::move(frames_.back());
+  frames_.pop_back();
+  for (auto& [key, old] : frame.undo) {
+    Charge(kVersionMergeInstructions);
+    if (old.first) {
+      working_[key] = old.second;
+    } else {
+      working_.erase(key);
+    }
+  }
+  Charge(kHeavyProcessTeardownInstructions);
+  stats_->Add("nested.sub_aborts");
+}
+
+bool NestedTxnEngine::CommitTop() {
+  if (!active_) {
+    return false;  // Lost to a simple-nested abort.
+  }
+  assert(mode_ == Mode::kSimpleNested ? simple_nesting_ == 1 : frames_.size() == 1);
+  committed_ = working_;
+  active_ = false;
+  frames_.clear();
+  simple_nesting_ = 0;
+  if (mode_ == Mode::kFullNested) {
+    Charge(kHeavyProcessTeardownInstructions);
+  } else {
+    Charge(kCounterBumpInstructions);
+  }
+  return true;
+}
+
+void NestedTxnEngine::AbortTop() {
+  working_ = committed_;
+  frames_.clear();
+  simple_nesting_ = 0;
+  active_ = false;
+  stats_->Add("nested.top_aborts");
+}
+
+}  // namespace locus

@@ -1,0 +1,94 @@
+// Full-nested transactions in the style of the earlier Locus mechanism
+// ([Mueller83], [Moore82]) as a cost baseline.
+//
+// Section 7.1 explains why the paper's facility uses simple nesting instead:
+// the previous implementation created "a new Unix-style heavy-weight process
+// for each transaction", and its "version stacks and intra-transaction
+// synchronization ... were found to be expensive"; the new design optimizes
+// "the more common case where subtransactions complete successfully". This
+// engine reimplements both disciplines over one in-memory record heap with
+// the simulator's CPU cost model so the trade-off can be measured:
+//
+//  - kFullNested: each subtransaction costs a process creation/teardown and
+//    pushes a version frame recording old values; committing a frame merges
+//    it into the parent; aborting a frame restores just that frame (only
+//    that subtransaction's work is lost).
+//  - kSimpleNested: BeginTrans/EndTrans inside a transaction only bump a
+//    counter (the paper's design, section 2); a single flat undo set exists,
+//    and any abort loses the WHOLE transaction.
+
+#ifndef SRC_BASELINE_NESTED_TXN_H_
+#define SRC_BASELINE_NESTED_TXN_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+
+namespace locus {
+
+// CPU cost model (VAX instructions, the simulator's currency).
+inline constexpr int64_t kHeavyProcessCreateInstructions = 2500;  // fork+exec image.
+inline constexpr int64_t kHeavyProcessTeardownInstructions = 800;
+inline constexpr int64_t kVersionFramePushInstructions = 200;
+inline constexpr int64_t kVersionEntryInstructions = 30;   // Old-value capture.
+inline constexpr int64_t kVersionMergeInstructions = 40;   // Per entry at frame commit.
+inline constexpr int64_t kCounterBumpInstructions = 150;   // Simple nesting: a syscall.
+
+class NestedTxnEngine {
+ public:
+  enum class Mode { kFullNested, kSimpleNested };
+
+  NestedTxnEngine(Simulation* sim, StatRegistry* stats, Mode mode)
+      : sim_(sim), stats_(stats), mode_(mode) {}
+
+  Mode mode() const { return mode_; }
+  int depth() const { return static_cast<int>(frames_.size()); }
+
+  // Starts the top-level transaction. Must not be nested.
+  void BeginTop();
+  // Enters a subtransaction (full: process + version frame; simple: counter).
+  void BeginSub();
+  // Commits the innermost subtransaction (full: merge frame into parent and
+  // tear the process down; simple: counter decrement).
+  void CommitSub();
+  // Aborts the innermost subtransaction. Full nesting restores only that
+  // frame's writes; simple nesting aborts the ENTIRE transaction (the
+  // trade-off section 7.1 accepts) — afterwards the engine is idle.
+  void AbortSub();
+
+  void Write(int64_t key, int64_t value);
+  int64_t Read(int64_t key) const;
+
+  // Commits the top-level transaction to the durable map. Returns false if
+  // the transaction was already lost to an abort.
+  bool CommitTop();
+  void AbortTop();
+
+  bool active() const { return active_; }
+  const std::map<int64_t, int64_t>& committed() const { return committed_; }
+
+ private:
+  struct Frame {
+    // Old values of keys first written in this frame (absent key = the key
+    // did not exist before this frame touched it).
+    std::map<int64_t, std::pair<bool, int64_t>> undo;
+  };
+
+  void Charge(int64_t instructions);
+
+  Simulation* sim_;
+  StatRegistry* stats_;
+  Mode mode_;
+  bool active_ = false;
+  int simple_nesting_ = 0;
+  std::map<int64_t, int64_t> committed_;
+  std::map<int64_t, int64_t> working_;
+  std::vector<Frame> frames_;  // frames_[0] is the top-level frame.
+};
+
+}  // namespace locus
+
+#endif  // SRC_BASELINE_NESTED_TXN_H_

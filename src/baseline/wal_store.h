@@ -1,0 +1,92 @@
+// Write-ahead (redo) logging baseline for the shadow-paging comparison.
+//
+// Section 6 of the paper discusses the trade-off between intentions-list /
+// shadow-page commit and commit logs: logging writes the redo records
+// sequentially at commit (cheap I/O, data pages updated in place later,
+// physical contiguity preserved); shadow paging writes each dirty page to a
+// fresh location plus one inode write (random I/O, contiguity degrades).
+// This class implements the logging side with the same writer/commit/abort
+// surface as FileStore so the two mechanisms can be driven by one workload.
+
+#ifndef SRC_BASELINE_WAL_STORE_H_
+#define SRC_BASELINE_WAL_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/lock/lock_list.h"
+#include "src/lock/range.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/storage/volume.h"
+
+namespace locus {
+
+// One redo record: bytes to apply to a file at an offset.
+struct RedoRecord {
+  FileId file;
+  int64_t offset = 0;
+  std::vector<uint8_t> bytes;
+};
+
+class WalStore {
+ public:
+  WalStore(Simulation* sim, Volume* volume, StatRegistry* stats)
+      : sim_(sim), volume_(volume), stats_(stats) {}
+
+  FileId CreateFile();
+
+  std::vector<uint8_t> Read(const FileId& file, const ByteRange& range);
+  void Write(const FileId& file, const LockOwner& writer, int64_t offset,
+             const std::vector<uint8_t>& bytes);
+
+  // Commit: force the writer's redo records to the log with sequential
+  // writes (one per log page filled), plus one sequential commit record.
+  // In-place data pages are NOT written here; they are applied by
+  // Checkpoint(), which is how logging defers and batches its random I/O.
+  void CommitWriter(const FileId& file, const LockOwner& writer);
+  void AbortWriter(const FileId& file, const LockOwner& writer);
+
+  // Applies committed-but-unapplied redo to the data pages in place (random
+  // writes) and truncates the log.
+  void Checkpoint();
+
+  // Crash: volatile state lost; Recover replays the stable log.
+  void OnCrash();
+  void Recover();
+
+  int64_t CommittedSize(const FileId& file) const;
+  int64_t pending_redo_bytes() const { return pending_redo_bytes_; }
+
+ private:
+  struct Writer {
+    LockOwner owner;
+    std::vector<RedoRecord> records;
+  };
+  struct FileState {
+    DiskInode inode;  // Page list allocated contiguously at first commit.
+    std::list<Writer> writers;
+  };
+
+  Writer* FindWriter(FileState& state, const LockOwner& owner);
+  // Ensures the file owns in-place pages covering [0, size).
+  void EnsurePages(FileState& state, int64_t size);
+  void ApplyToStable(const RedoRecord& rec);
+
+  Simulation* sim_;
+  Volume* volume_;
+  StatRegistry* stats_;
+  std::map<FileId, FileState> files_;
+  // Committed redo not yet applied in place (would be replayed after crash).
+  std::vector<RedoRecord> unapplied_;
+  std::vector<uint64_t> unapplied_log_ids_;
+  int64_t pending_redo_bytes_ = 0;
+  int64_t log_fill_bytes_ = 0;  // Partial log page currently being filled.
+};
+
+}  // namespace locus
+
+#endif  // SRC_BASELINE_WAL_STORE_H_

@@ -1,0 +1,335 @@
+#include "src/dbkit/table.h"
+
+#include <cstring>
+
+namespace locus {
+
+// ---------------------------------------------------------------------------
+// Table
+
+Err Table::Create(Syscalls& sys, const std::string& path, int replication) {
+  return sys.Creat(path, replication);
+}
+
+Table::~Table() { Close(); }
+
+Err Table::Open() {
+  auto fd = sys_.Open(path_, {.read = true, .write = true});
+  if (!fd.ok()) {
+    return fd.err;
+  }
+  fd_ = fd.value;
+  return Err::kOk;
+}
+
+void Table::Close() {
+  if (fd_ >= 0) {
+    sys_.Close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<int64_t> Table::Count() {
+  auto size = sys_.FileSize(fd_);
+  if (!size.ok()) {
+    return {size.err, 0};
+  }
+  return {Err::kOk, size.value / record_bytes_};
+}
+
+Err Table::LockRecord(int64_t row, LockOp op) {
+  sys_.Seek(fd_, row * record_bytes_);
+  return sys_.Lock(fd_, record_bytes_, op).err;
+}
+
+Result<std::vector<uint8_t>> Table::Get(int64_t row) {
+  if (fd_ < 0 || row < 0) {
+    return {Err::kInvalid, {}};
+  }
+  Err lock = LockRecord(row, LockOp::kShared);
+  if (lock != Err::kOk) {
+    return {lock, {}};
+  }
+  sys_.Seek(fd_, row * record_bytes_);
+  auto data = sys_.Read(fd_, record_bytes_);
+  if (!data.ok()) {
+    return {data.err, {}};
+  }
+  if (data.value.size() != static_cast<size_t>(record_bytes_)) {
+    return {Err::kNoEnt, {}};  // Past the end of the table.
+  }
+  return {Err::kOk, std::move(data.value)};
+}
+
+Err Table::Update(int64_t row, const std::vector<uint8_t>& record) {
+  if (fd_ < 0 || row < 0 || record.size() != static_cast<size_t>(record_bytes_)) {
+    return Err::kInvalid;
+  }
+  auto count = Count();
+  if (!count.ok()) {
+    return count.err;
+  }
+  if (row >= count.value) {
+    return Err::kNoEnt;
+  }
+  Err lock = LockRecord(row, LockOp::kExclusive);
+  if (lock != Err::kOk) {
+    return lock;
+  }
+  sys_.Seek(fd_, row * record_bytes_);
+  return sys_.Write(fd_, record);
+}
+
+Result<int64_t> Table::Insert(const std::vector<uint8_t>& record) {
+  if (fd_ < 0 || record.size() != static_cast<size_t>(record_bytes_)) {
+    return {Err::kInvalid, -1};
+  }
+  // Atomic lock-and-extend (section 3.2): the row slot is allocated at the
+  // then-current end of file, immune to concurrent inserters.
+  auto append = sys_.Open(path_, {.read = true, .write = true, .append = true});
+  if (!append.ok()) {
+    return {append.err, -1};
+  }
+  auto range = sys_.Lock(append.value, record_bytes_, LockOp::kExclusive);
+  if (range.err != Err::kOk) {
+    sys_.Close(append.value);
+    return {range.err, -1};
+  }
+  Err write = sys_.Write(append.value, record);
+  sys_.Close(append.value);
+  if (write != Err::kOk) {
+    return {write, -1};
+  }
+  return {Err::kOk, range.value.start / record_bytes_};
+}
+
+Err Table::Scan(const std::function<bool(int64_t, const std::vector<uint8_t>&)>& visit) {
+  auto count = Count();
+  if (!count.ok()) {
+    return count.err;
+  }
+  for (int64_t row = 0; row < count.value; ++row) {
+    auto record = Get(row);
+    if (!record.ok()) {
+      return record.err;
+    }
+    if (!visit(row, record.value)) {
+      break;
+    }
+  }
+  return Err::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// HashIndex
+
+Err HashIndex::Create(Syscalls& sys, const std::string& path, int32_t key_bytes,
+                      int32_t buckets) {
+  Err err = sys.Creat(path);
+  if (err != Err::kOk) {
+    return err;
+  }
+  // Pre-size with empty slots: key zeroed, row = kEmptyRow.
+  auto fd = sys.Open(path, {.read = true, .write = true});
+  if (!fd.ok()) {
+    return fd.err;
+  }
+  std::vector<uint8_t> slot(key_bytes + 8, 0);
+  for (int i = 0; i < 8; ++i) {
+    slot[key_bytes + i] = 0xFF;  // -1 in two's complement.
+  }
+  std::vector<uint8_t> image;
+  image.reserve(static_cast<size_t>(buckets) * slot.size());
+  for (int32_t b = 0; b < buckets; ++b) {
+    image.insert(image.end(), slot.begin(), slot.end());
+  }
+  err = sys.Write(fd.value, image);
+  sys.Close(fd.value);
+  return err;
+}
+
+HashIndex::~HashIndex() { Close(); }
+
+Err HashIndex::Open() {
+  auto fd = sys_.Open(path_, {.read = true, .write = true});
+  if (!fd.ok()) {
+    return fd.err;
+  }
+  fd_ = fd.value;
+  return Err::kOk;
+}
+
+void HashIndex::Close() {
+  if (fd_ >= 0) {
+    sys_.Close(fd_);
+    fd_ = -1;
+  }
+}
+
+uint64_t HashIndex::Hash(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+Err HashIndex::LockSlot(int32_t slot, LockOp op) {
+  sys_.Seek(fd_, static_cast<int64_t>(slot) * SlotBytes());
+  return sys_.Lock(fd_, SlotBytes(), op).err;
+}
+
+namespace {
+int64_t DecodeRow(const std::vector<uint8_t>& slot, int32_t key_bytes) {
+  uint64_t raw = 0;
+  for (int i = 0; i < 8; ++i) {
+    raw = (raw << 8) | slot[key_bytes + i];
+  }
+  return static_cast<int64_t>(raw);
+}
+void EncodeRow(std::vector<uint8_t>& slot, int32_t key_bytes, int64_t row) {
+  uint64_t raw = static_cast<uint64_t>(row);
+  for (int i = 7; i >= 0; --i) {
+    slot[key_bytes + i] = static_cast<uint8_t>(raw & 0xFF);
+    raw >>= 8;
+  }
+}
+}  // namespace
+
+Err HashIndex::Put(const std::string& key, int64_t row) {
+  if (fd_ < 0 || key.size() > static_cast<size_t>(key_bytes_) || key.empty()) {
+    return Err::kInvalid;
+  }
+  std::string padded = key;
+  padded.resize(key_bytes_, '\0');
+  for (int32_t probe = 0; probe < buckets_; ++probe) {
+    int32_t slot = static_cast<int32_t>((Hash(key) + probe) % buckets_);
+    Err lock = LockSlot(slot, LockOp::kExclusive);
+    if (lock != Err::kOk) {
+      return lock;
+    }
+    sys_.Seek(fd_, static_cast<int64_t>(slot) * SlotBytes());
+    auto data = sys_.Read(fd_, SlotBytes());
+    if (!data.ok()) {
+      return data.err;
+    }
+    int64_t existing = DecodeRow(data.value, key_bytes_);
+    std::string existing_key(data.value.begin(), data.value.begin() + key_bytes_);
+    if (existing != kEmptyRow && existing_key == padded) {
+      return Err::kExists;
+    }
+    if (existing == kEmptyRow) {
+      std::vector<uint8_t> slot_bytes(padded.begin(), padded.end());
+      slot_bytes.resize(SlotBytes(), 0);
+      EncodeRow(slot_bytes, key_bytes_, row);
+      sys_.Seek(fd_, static_cast<int64_t>(slot) * SlotBytes());
+      return sys_.Write(fd_, slot_bytes);
+    }
+    // Occupied by another key: probe onward (the slot lock stays per 2PL if
+    // we're in a transaction, which is correct — phantom protection).
+  }
+  return Err::kBusy;  // Index full.
+}
+
+Result<std::optional<int64_t>> HashIndex::Lookup(const std::string& key) {
+  if (fd_ < 0 || key.empty()) {
+    return {Err::kInvalid, std::nullopt};
+  }
+  std::string padded = key;
+  padded.resize(key_bytes_, '\0');
+  for (int32_t probe = 0; probe < buckets_; ++probe) {
+    int32_t slot = static_cast<int32_t>((Hash(key) + probe) % buckets_);
+    Err lock = LockSlot(slot, LockOp::kShared);
+    if (lock != Err::kOk) {
+      return {lock, std::nullopt};
+    }
+    sys_.Seek(fd_, static_cast<int64_t>(slot) * SlotBytes());
+    auto data = sys_.Read(fd_, SlotBytes());
+    if (!data.ok()) {
+      return {data.err, std::nullopt};
+    }
+    int64_t row = DecodeRow(data.value, key_bytes_);
+    if (row == kEmptyRow) {
+      return {Err::kOk, std::nullopt};  // Probe chain ends: absent.
+    }
+    std::string slot_key(data.value.begin(), data.value.begin() + key_bytes_);
+    if (slot_key == padded) {
+      return {Err::kOk, row};
+    }
+  }
+  return {Err::kOk, std::nullopt};
+}
+
+// ---------------------------------------------------------------------------
+// SharedLog
+
+Err SharedLog::Create(Syscalls& sys, const std::string& path, int replication) {
+  return sys.Creat(path, replication);
+}
+
+SharedLog::~SharedLog() { Close(); }
+
+Err SharedLog::Open() {
+  auto fd = sys_.Open(path_, {.read = true, .write = true, .append = true});
+  if (!fd.ok()) {
+    return fd.err;
+  }
+  fd_ = fd.value;
+  return Err::kOk;
+}
+
+void SharedLog::Close() {
+  if (fd_ >= 0) {
+    sys_.Close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<int64_t> SharedLog::Append(const std::string& text) {
+  if (fd_ < 0) {
+    return {Err::kBadFd, -1};
+  }
+  // Non-transaction lock (section 3.4): the appended record is not part of
+  // the caller's transaction — it must not roll back with an abort, and the
+  // lock must not be retained until commit (that would serialize every
+  // logger behind the longest transaction).
+  auto range = sys_.Lock(fd_, record_bytes_, LockOp::kExclusive,
+                         {.non_transaction = true});
+  if (range.err != Err::kOk) {
+    return {range.err, -1};
+  }
+  std::string record = text;
+  record.resize(record_bytes_, ' ');
+  Err write = sys_.WriteString(fd_, record);
+  // Release the slot immediately; later appenders go beyond it anyway.
+  sys_.Seek(fd_, range.value.start);
+  sys_.Lock(fd_, record_bytes_, LockOp::kUnlock);
+  if (write != Err::kOk) {
+    return {write, -1};
+  }
+  return {Err::kOk, range.value.start / record_bytes_};
+}
+
+Result<std::string> SharedLog::ReadRecord(int64_t index) {
+  if (fd_ < 0 || index < 0) {
+    return {Err::kInvalid, {}};
+  }
+  sys_.Seek(fd_, index * record_bytes_);
+  auto data = sys_.Read(fd_, record_bytes_);
+  if (!data.ok()) {
+    return {data.err, {}};
+  }
+  std::string text(data.value.begin(), data.value.end());
+  text.erase(text.find_last_not_of(' ') + 1);
+  return {Err::kOk, text};
+}
+
+Result<int64_t> SharedLog::Count() {
+  auto size = sys_.FileSize(fd_);
+  if (!size.ok()) {
+    return {size.err, 0};
+  }
+  return {Err::kOk, size.value / record_bytes_};
+}
+
+}  // namespace locus

@@ -1,0 +1,66 @@
+#include "src/fs/buffer_pool.h"
+
+namespace locus {
+
+std::optional<PageData> BufferPool::Lookup(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  Touch(key);
+  return it->second.first;
+}
+
+void BufferPool::Touch(const Key& key) {
+  auto it = entries_.find(key);
+  lru_.erase(it->second.second);
+  lru_.push_front(key);
+  it->second.second = lru_.begin();
+}
+
+void BufferPool::Insert(const Key& key, PageData data) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.first = std::move(data);
+    Touch(key);
+    return;
+  }
+  while (static_cast<int32_t>(entries_.size()) >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  if (capacity_ <= 0) {
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = {std::move(data), lru_.begin()};
+}
+
+void BufferPool::Erase(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.erase(it->second.second);
+  entries_.erase(it);
+}
+
+void BufferPool::InvalidateFile(const FileId& file) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.file == file) {
+      lru_.erase(it->second.second);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace locus

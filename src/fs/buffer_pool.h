@@ -1,0 +1,58 @@
+// Per-site LRU buffer pool for clean copies of committed pages.
+//
+// Section 6.3: the page-differencing commit re-reads the previous version of
+// a page unless a clean copy is still buffered; the paper's measurements had
+// all pages in buffers thanks to LRU. The pool capacity is a knob in the
+// Figure 6 / footnote 11 benches.
+
+#ifndef SRC_FS_BUFFER_POOL_H_
+#define SRC_FS_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+
+#include "src/base/ids.h"
+#include "src/storage/disk.h"
+
+namespace locus {
+
+class BufferPool {
+ public:
+  struct Key {
+    FileId file;
+    int32_t page_index = 0;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  explicit BufferPool(int32_t capacity_pages) : capacity_(capacity_pages) {}
+
+  // Returns the cached clean copy and refreshes its LRU position.
+  std::optional<PageData> Lookup(const Key& key);
+  // Inserts/replaces a clean copy, evicting the least recently used entry if
+  // the pool is full.
+  void Insert(const Key& key, PageData data);
+  void Erase(const Key& key);
+  // Drops every page of `file` (file deleted or service migrated away).
+  void InvalidateFile(const FileId& file);
+  // Site crash: all buffers are volatile.
+  void Clear();
+
+  int32_t size() const { return static_cast<int32_t>(entries_.size()); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  void Touch(const Key& key);
+
+  int32_t capacity_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  std::list<Key> lru_;  // Front = most recent.
+  std::map<Key, std::pair<PageData, std::list<Key>::iterator>> entries_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_FS_BUFFER_POOL_H_

@@ -1,0 +1,174 @@
+#include "src/fs/catalog.h"
+
+#include <algorithm>
+
+namespace locus {
+
+Catalog::Catalog() {
+  CatalogEntry root;
+  root.is_dir = true;
+  entries_["/"] = root;
+}
+
+int Catalog::ComponentCount(const std::string& path) {
+  int n = 0;
+  for (char c : path) {
+    if (c == '/') {
+      ++n;
+    }
+  }
+  return std::max(1, n);
+}
+
+std::string Catalog::ParentOf(const std::string& path) {
+  auto pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+bool Catalog::CreateFileEntry(const std::string& path, std::vector<Replica> replicas) {
+  if (entries_.count(path)) {
+    return false;
+  }
+  const CatalogEntry* parent = Lookup(ParentOf(path));
+  if (parent == nullptr || !parent->is_dir) {
+    return false;
+  }
+  CatalogEntry entry;
+  entry.is_dir = false;
+  entry.replicas = std::move(replicas);
+  entries_[path] = std::move(entry);
+  return true;
+}
+
+bool Catalog::MakeDir(const std::string& path) {
+  if (entries_.count(path)) {
+    return false;
+  }
+  const CatalogEntry* parent = Lookup(ParentOf(path));
+  if (parent == nullptr || !parent->is_dir) {
+    return false;
+  }
+  CatalogEntry entry;
+  entry.is_dir = true;
+  entries_[path] = std::move(entry);
+  return true;
+}
+
+bool Catalog::Remove(const std::string& path) {
+  auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.is_dir) {
+    return false;
+  }
+  entries_.erase(it);
+  return true;
+}
+
+const CatalogEntry* Catalog::Lookup(const std::string& path) const {
+  auto it = entries_.find(path);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+CatalogEntry* Catalog::Find(const std::string& path) {
+  auto it = entries_.find(path);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::List(const std::string& dir_path) const {
+  std::string prefix = dir_path == "/" ? "/" : dir_path + "/";
+  std::vector<std::string> out;
+  for (const auto& [path, entry] : entries_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> Catalog::PathOf(const FileId& file) const {
+  for (const auto& [path, entry] : entries_) {
+    for (const Replica& r : entry.replicas) {
+      if (r.file == file) {
+        return path;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+const Replica* Catalog::ServingReplica(const std::string& path, SiteId client) const {
+  const CatalogEntry* entry = Lookup(path);
+  if (entry == nullptr || entry->is_dir || entry->replicas.empty()) {
+    return nullptr;
+  }
+  if (entry->update_site != kNoSite) {
+    for (const Replica& r : entry->replicas) {
+      if (r.site == entry->update_site) {
+        return &r;
+      }
+    }
+  }
+  for (const Replica& r : entry->replicas) {
+    if (r.site == client) {
+      return &r;
+    }
+  }
+  return &entry->replicas.front();
+}
+
+const Replica* Catalog::ReplicaAt(const std::string& path, SiteId site) const {
+  const CatalogEntry* entry = Lookup(path);
+  if (entry == nullptr) {
+    return nullptr;
+  }
+  for (const Replica& r : entry->replicas) {
+    if (r.site == site) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+const Replica* Catalog::OpenForUpdate(const std::string& path, SiteId preferred) {
+  CatalogEntry* entry = Find(path);
+  if (entry == nullptr || entry->is_dir || entry->replicas.empty()) {
+    return nullptr;
+  }
+  if (entry->update_site == kNoSite) {
+    // Designate the primary update site: prefer a replica at the requester.
+    entry->update_site = entry->replicas.front().site;
+    for (const Replica& r : entry->replicas) {
+      if (r.site == preferred) {
+        entry->update_site = r.site;
+        break;
+      }
+    }
+  }
+  entry->update_opens++;
+  for (const Replica& r : entry->replicas) {
+    if (r.site == entry->update_site) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void Catalog::CloseForUpdate(const std::string& path) {
+  CatalogEntry* entry = Find(path);
+  if (entry == nullptr || entry->update_opens == 0) {
+    return;
+  }
+  --entry->update_opens;
+}
+
+void Catalog::ReleasePrimaryIfIdle(const std::string& path) {
+  CatalogEntry* entry = Find(path);
+  if (entry != nullptr && entry->update_opens == 0) {
+    entry->update_site = kNoSite;
+  }
+}
+
+}  // namespace locus

@@ -1,0 +1,92 @@
+// The transparent distributed namespace and replication metadata.
+//
+// Locus gave the transaction work a network-transparent, replicated directory
+// system for free ("enabled the implementors to ignore many difficult
+// problems of distributed file handling"); we substitute a logically
+// replicated catalog whose operations are immediately visible cluster-wide.
+// Per section 3.4, catalog updates are intentionally outside the transaction
+// envelope: two transactions racing to create the same name conflict at once,
+// and directory updates are neither rolled back on abort nor deferred to
+// commit.
+//
+// Replication (section 5.2): a file may have replicas at several storage
+// sites. Reads are served by the closest replica; the first open-for-update
+// or lock request designates a single primary update site and migrates
+// storage-site service there until no update opens remain.
+
+#ifndef SRC_FS_CATALOG_H_
+#define SRC_FS_CATALOG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/net/network.h"
+
+namespace locus {
+
+struct Replica {
+  SiteId site = kNoSite;
+  FileId file;  // The inode backing this replica on that site's volume.
+};
+
+struct CatalogEntry {
+  bool is_dir = false;
+  std::vector<Replica> replicas;   // Empty for directories.
+  SiteId update_site = kNoSite;    // Primary update site while open for update.
+  int32_t update_opens = 0;        // Open-for-update reference count.
+};
+
+class Catalog {
+ public:
+  Catalog();
+
+  // Creates a file entry. Fails (returns false) if the name exists or the
+  // parent directory does not — the immediate create-create conflict of
+  // section 3.4.
+  bool CreateFileEntry(const std::string& path, std::vector<Replica> replicas);
+  bool MakeDir(const std::string& path);
+  // Removes a file entry (the caller disposes of the replicas' storage).
+  bool Remove(const std::string& path);
+
+  const CatalogEntry* Lookup(const std::string& path) const;
+  CatalogEntry* Find(const std::string& path);
+  bool Exists(const std::string& path) const { return Lookup(path) != nullptr; }
+  std::vector<std::string> List(const std::string& dir_path) const;
+
+  // Picks the replica that should serve an open from `client`: the primary
+  // update site if one is designated, else a replica co-located with the
+  // client, else the first replica.
+  const Replica* ServingReplica(const std::string& path, SiteId client) const;
+  const Replica* ReplicaAt(const std::string& path, SiteId site) const;
+
+  // Designates (or re-uses) the primary update site and counts the update
+  // open. Returns the serving replica, or nullptr if `path` is not a file.
+  const Replica* OpenForUpdate(const std::string& path, SiteId preferred);
+  // Drops one update-open reference. The primary designation itself is NOT
+  // cleared here: retained transaction locks and uncommitted records may
+  // outlive the open (section 3.1), and moving the primary while they exist
+  // would split the lock list. The primary site's kernel calls
+  // ReleasePrimaryIfIdle once its lock list and writer state for the file
+  // are empty.
+  void CloseForUpdate(const std::string& path);
+  void ReleasePrimaryIfIdle(const std::string& path);
+
+  // Reverse lookup: the path whose entry carries `file` as a replica (used
+  // for replica propagation after a commit at the primary update site).
+  std::optional<std::string> PathOf(const FileId& file) const;
+
+  // Number of path components, used by the kernel to charge name-resolution
+  // CPU (section 3.2 calls name mapping "a relatively expensive operation").
+  static int ComponentCount(const std::string& path);
+  static std::string ParentOf(const std::string& path);
+
+ private:
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_FS_CATALOG_H_

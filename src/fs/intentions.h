@@ -1,0 +1,42 @@
+// Intentions lists: the unit of the single-file commit mechanism (section 4).
+//
+// A file is committed by forcing its new (shadow) data pages to disk and then
+// atomically overwriting the inode so its page-pointer list names the shadow
+// pages. The intentions list is the set of pointer replacements; prepare logs
+// persist it so phase two of commit can run after a crash.
+
+#ifndef SRC_FS_INTENTIONS_H_
+#define SRC_FS_INTENTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/lock/range.h"
+#include "src/storage/disk.h"
+
+namespace locus {
+
+struct PageUpdate {
+  int32_t page_index = 0;   // Page slot within the file.
+  PageId new_page = kNoPage;  // Shadow page already flushed to disk.
+};
+
+struct IntentionsList {
+  FileId file;
+  // Version of the committed inode the shadow pages were merged against. If
+  // the file has advanced past this by install time (another writer of
+  // disjoint records committed in between), installation re-differences the
+  // shadow pages against the current image using `ranges` — the lock-range
+  // information the prepare log stores alongside the intentions (section 4.2
+  // stores "intentions lists and lock lists").
+  uint64_t base_version = 0;
+  int64_t new_size = 0;
+  // The writer's modified byte ranges (file-wide).
+  std::vector<ByteRange> ranges;
+  std::vector<PageUpdate> updates;
+};
+
+}  // namespace locus
+
+#endif  // SRC_FS_INTENTIONS_H_

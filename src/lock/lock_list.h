@@ -1,0 +1,142 @@
+// Per-file lock list kept at the file's storage site (Figure 3 of the paper).
+//
+// Each entry records the holding process, its transaction (if any), the mode,
+// the byte range, and the retained / non-transaction flags. Figure 1 gives
+// the compatibility rules between the three modes; "Unix" is the implicit
+// mode of an access made with no lock held, and the enforced-locking policy
+// constrains it like any other mode.
+//
+// Ownership is transaction-wide: all processes of one transaction share its
+// locks (section 3.1 — a child created inside a transaction may acquire the
+// parent's exclusive records and vice versa).
+
+#ifndef SRC_LOCK_LOCK_LIST_H_
+#define SRC_LOCK_LOCK_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/lock/range.h"
+
+namespace locus {
+
+enum class LockMode {
+  kUnix,       // No lock held: conventional Unix access.
+  kShared,     // Shared read lock.
+  kExclusive,  // Exclusive read/write lock.
+};
+
+const char* LockModeName(LockMode mode);
+
+// The access kinds a holder of `held` permits a *different* owner performing
+// an access governed by `acting` (Figure 1). kNone = no access, kReadOnly =
+// read only, kReadWrite = full conventional sharing.
+enum class AccessAllowed { kNone, kReadOnly, kReadWrite };
+AccessAllowed CompatibleAccess(LockMode held, LockMode acting);
+
+// True if a lock request in `requested` can be granted while a different
+// owner holds `held` over an overlapping range.
+bool LocksCompatible(LockMode held, LockMode requested);
+
+// Lock owner identity. Processes of one transaction are interchangeable
+// (section 3.1), and a process never conflicts with itself: locks it acquired
+// before entering a transaction (owned by its pid alone, section 3.4) do not
+// block its in-transaction accesses.
+struct LockOwner {
+  Pid pid = kNoPid;
+  TxnId txn = kNoTxn;
+
+  bool SameAs(const LockOwner& o) const {
+    if (txn.valid() && o.txn.valid()) {
+      return txn == o.txn;
+    }
+    return pid != kNoPid && pid == o.pid;
+  }
+
+  // Strict writer identity for the commit mechanism: modifications made by a
+  // process outside a transaction and modifications made by the same process
+  // inside one are distinct writers — the former commit at close, the latter
+  // with the transaction. (Lock conflict checks use the looser SameAs.)
+  bool SameWriterAs(const LockOwner& o) const {
+    if (txn.valid() || o.txn.valid()) {
+      return txn == o.txn;
+    }
+    return pid != kNoPid && pid == o.pid;
+  }
+};
+
+std::string ToString(const LockOwner& o);
+
+class LockList {
+ public:
+  struct Entry {
+    ByteRange range;
+    LockOwner owner;
+    LockMode mode = LockMode::kShared;
+    // Unlocked by a transaction but held until commit/abort (section 3.1);
+    // any process of the transaction may reacquire it.
+    bool retained = false;
+    // Section 3.4: obeys Figure 1 but escapes the two-phase discipline.
+    bool non_transaction = false;
+    // Section 3.3 rule 2: covers a modified-uncommitted record, so it is
+    // sticky until the transaction resolves even if explicitly unlocked.
+    bool covers_dirty = false;
+  };
+
+  // True if `owner` may be granted `mode` over `range` right now.
+  bool CanGrant(const ByteRange& range, const LockOwner& owner, LockMode mode) const;
+
+  // Grants (or upgrades/downgrades/extends/contracts): the owner's previous
+  // entries are carved out of `range` and one new active entry is added.
+  // Callers must have checked CanGrant.
+  void Grant(const ByteRange& range, const LockOwner& owner, LockMode mode,
+             bool non_transaction);
+
+  // Explicit unlock over `range`. Transaction locks become retained unless
+  // they are non-transaction locks; non-transaction owners' and
+  // non-transaction locks' entries are dropped outright — except entries
+  // covering dirty records, which stay retained (rule 2).
+  void Unlock(const ByteRange& range, const LockOwner& owner);
+
+  // Marks entries overlapping `range` as covering a modified-uncommitted
+  // record, making them sticky.
+  void MarkDirtyCovered(const ByteRange& range, const LockOwner& owner);
+
+  // Commit/abort: drops every entry of the transaction.
+  void ReleaseTransaction(const TxnId& txn);
+  // Process exit (non-transaction process): drops its entries.
+  void ReleaseProcess(Pid pid);
+
+  // Enforced-access checks for an access by `owner` whose own locks permit it
+  // wherever they cover; elsewhere the access acts in Unix mode against
+  // other owners' locks.
+  bool MayRead(const ByteRange& range, const LockOwner& owner) const;
+  bool MayWrite(const ByteRange& range, const LockOwner& owner) const;
+
+  // Owners whose active entries block `owner` from acquiring `mode` over
+  // `range` (for the wait-for graph).
+  std::vector<LockOwner> ConflictingOwners(const ByteRange& range, const LockOwner& owner,
+                                           LockMode mode) const;
+
+  // True if `owner` holds an active (non-retained) entry covering all of
+  // `range` with at least `mode` strength.
+  bool Holds(const ByteRange& range, const LockOwner& owner, LockMode mode) const;
+
+  // True if `range` is fully covered by the owner's active NON-TRANSACTION
+  // entries (section 3.4). The kernel uses this to route writes made under
+  // such locks outside the transaction envelope.
+  bool HoldsNonTransaction(const ByteRange& range, const LockOwner& owner) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  bool AccessPermitted(const ByteRange& range, const LockOwner& owner, bool write) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_LOCK_LOCK_LIST_H_

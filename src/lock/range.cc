@@ -1,0 +1,66 @@
+#include "src/lock/range.h"
+
+namespace locus {
+
+void RangeSet::Add(ByteRange r) {
+  if (r.empty()) {
+    return;
+  }
+  std::vector<ByteRange> merged;
+  for (const ByteRange& existing : ranges_) {
+    // Merge anything overlapping or exactly adjacent.
+    if (existing.end() >= r.start && r.end() >= existing.start) {
+      int64_t new_end = std::max(r.end(), existing.end());
+      r.start = std::min(r.start, existing.start);
+      r.length = new_end - r.start;
+    } else {
+      merged.push_back(existing);
+    }
+  }
+  merged.push_back(r);
+  std::sort(merged.begin(), merged.end());
+  ranges_ = std::move(merged);
+}
+
+void RangeSet::Remove(const ByteRange& r) {
+  if (r.empty()) {
+    return;
+  }
+  std::vector<ByteRange> out;
+  for (const ByteRange& existing : ranges_) {
+    for (const ByteRange& piece : existing.Subtract(r)) {
+      out.push_back(piece);
+    }
+  }
+  ranges_ = std::move(out);
+}
+
+bool RangeSet::Intersects(const ByteRange& r) const {
+  for (const ByteRange& existing : ranges_) {
+    if (existing.Overlaps(r)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ByteRange> RangeSet::IntersectionsWith(const ByteRange& r) const {
+  std::vector<ByteRange> out;
+  for (const ByteRange& existing : ranges_) {
+    ByteRange i = existing.Intersect(r);
+    if (!i.empty()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int64_t RangeSet::TotalBytes() const {
+  int64_t total = 0;
+  for (const ByteRange& r : ranges_) {
+    total += r.length;
+  }
+  return total;
+}
+
+}  // namespace locus

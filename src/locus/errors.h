@@ -1,0 +1,53 @@
+// Error codes returned by the syscall interface.
+
+#ifndef SRC_LOCUS_ERRORS_H_
+#define SRC_LOCUS_ERRORS_H_
+
+namespace locus {
+
+enum class Err {
+  kOk,
+  kNoEnt,        // Name does not exist.
+  kExists,       // Name already exists (section 3.4 create-create conflict).
+  kNotDir,       // Path component is not a directory.
+  kBadFd,        // Bad channel number.
+  kAccess,       // Enforced lock denies the access, or no write access for a
+                 // lock request (section 3.1 policy).
+  kConflict,     // Lock request conflicts and wait was not requested.
+  kAborted,      // The enclosing transaction was aborted.
+  kUnreachable,  // Storage site unreachable / crashed.
+  kBusy,         // Target in transit; retry (file-list merge race).
+  kInvalid,      // Bad argument.
+  kNoTransaction,  // EndTrans/AbortTrans outside a transaction.
+};
+
+inline const char* ErrName(Err e) {
+  switch (e) {
+    case Err::kOk: return "ok";
+    case Err::kNoEnt: return "noent";
+    case Err::kExists: return "exists";
+    case Err::kNotDir: return "notdir";
+    case Err::kBadFd: return "badfd";
+    case Err::kAccess: return "access";
+    case Err::kConflict: return "conflict";
+    case Err::kAborted: return "aborted";
+    case Err::kUnreachable: return "unreachable";
+    case Err::kBusy: return "busy";
+    case Err::kInvalid: return "invalid";
+    case Err::kNoTransaction: return "notxn";
+  }
+  return "?";
+}
+
+// A value-or-error pair for syscalls that return data.
+template <typename T>
+struct Result {
+  Err err = Err::kOk;
+  T value{};
+
+  bool ok() const { return err == Err::kOk; }
+};
+
+}  // namespace locus
+
+#endif  // SRC_LOCUS_ERRORS_H_

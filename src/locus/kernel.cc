@@ -1,0 +1,579 @@
+#include "src/locus/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/locus/system.h"
+
+namespace locus {
+
+namespace {
+
+constexpr int32_t kControlMsgBytes = 96;
+constexpr Pid kReplicatorPid = -2;
+
+template <typename T>
+Message MakeMsg(MsgType type, T payload, int32_t size_bytes = kControlMsgBytes) {
+  Message m;
+  m.type = type;
+  m.size_bytes = size_bytes;
+  m.payload = std::move(payload);
+  return m;
+}
+
+std::vector<SiteId> ParticipantSites(const std::vector<UsedFile>& files) {
+  std::vector<SiteId> sites;
+  for (const UsedFile& f : files) {
+    if (std::find(sites.begin(), sites.end(), f.storage_site) == sites.end()) {
+      sites.push_back(f.storage_site);
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+  return sites;
+}
+
+}  // namespace
+
+Kernel::Kernel(System* system, SiteId site)
+    : system_(system),
+      site_(site),
+      locks_(&system->trace(), &system->stats(), system->net().SiteName(site)),
+      txns_(&system->sim(), site),
+      pool_(system->options().pool_pages) {}
+
+Simulation& Kernel::sim() { return system_->sim(); }
+Network& Kernel::net() { return system_->net(); }
+Catalog& Kernel::catalog() { return system_->catalog(); }
+StatRegistry& Kernel::stats() { return system_->stats(); }
+TraceLog& Kernel::trace() { return system_->trace(); }
+
+void Kernel::BurnCpu(int64_t instructions) {
+  stats().Add("cpu." + net().SiteName(site_), instructions);
+  sim().BurnInstructions(instructions);
+}
+
+void Kernel::Trace(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  trace().Log(sim().Now(), net().SiteName(site_), "%s", buffer);
+}
+
+void Kernel::AttachVolume(std::unique_ptr<Volume> volume) {
+  Volume* raw = volume.get();
+  volumes_.push_back(std::move(volume));
+  stores_[raw->id()] = std::make_unique<FileStore>(&sim(), raw, &pool_, &stats(), &trace(),
+                                                   net().SiteName(site_));
+}
+
+Volume* Kernel::FindVolume(VolumeId id) {
+  for (auto& v : volumes_) {
+    if (v->id() == id) {
+      return v.get();
+    }
+  }
+  return nullptr;
+}
+
+FileStore* Kernel::StoreFor(VolumeId id) {
+  auto it = stores_.find(id);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Volume*> Kernel::volumes() {
+  std::vector<Volume*> out;
+  for (auto& v : volumes_) {
+    out.push_back(v.get());
+  }
+  return out;
+}
+
+SimProcess* Kernel::SpawnKernelProcess(const std::string& name, std::function<void()> body) {
+  std::string full = net().SiteName(site_) + ":" + name + "#" + std::to_string(next_kproc_++);
+  SimProcess* p = sim().Spawn(full, std::move(body));
+  // Lazily compact the tracking list.
+  std::erase_if(kernel_procs_,
+                [](SimProcess* kp) { return kp->state() == SimProcess::State::kFinished; });
+  kernel_procs_.push_back(p);
+  return p;
+}
+
+int64_t Kernel::live_kernel_processes() const {
+  int64_t n = 0;
+  for (SimProcess* kp : kernel_procs_) {
+    if (kp->state() != SimProcess::State::kFinished) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Kernel::RegisterBlockingHandler(
+    int32_t type, std::function<void(SiteId, const Message&, Responder)> fn) {
+  net().RegisterHandler(site_, type, [this, fn](SiteId from, const Message& msg, Responder r) {
+    if (!alive_) {
+      return;
+    }
+    SpawnKernelProcess("svc" + std::to_string(msg.type),
+                       [fn, from, msg, r] { fn(from, msg, r); });
+  });
+}
+
+void Kernel::Start() {
+  RegisterBlockingHandler(kOpenReq, [this](SiteId, const Message& m, Responder r) {
+    Err err = ServeOpen(m.As<OpenRequest>().file);
+    OpenReply reply{err, 0};
+    if (err == Err::kOk) {
+      FileStore* store = StoreFor(m.As<OpenRequest>().file.volume);
+      reply.size = store->WorkingSize(m.As<OpenRequest>().file);
+    }
+    r(MakeMsg(kOpenReq, reply));
+  });
+  RegisterBlockingHandler(kReadReq, [this](SiteId, const Message& m, Responder r) {
+    ReadReply reply = ServeRead(m.As<ReadRequest>());
+    int32_t size = kControlMsgBytes + static_cast<int32_t>(reply.bytes.size());
+    r(MakeMsg(kReadReq, std::move(reply), size));
+  });
+  RegisterBlockingHandler(kWriteReq, [this](SiteId, const Message& m, Responder r) {
+    r(MakeMsg(kWriteReq, ServeWrite(m.As<WriteRequest>())));
+  });
+  RegisterBlockingHandler(kLockReq, [this](SiteId, const Message& m, Responder r) {
+    BurnCpu(kLockServiceInstructions);
+    ServeLock(m.As<LockRequest>(), [r](LockReply reply) { r(MakeMsg(kLockReq, reply)); });
+  });
+  RegisterBlockingHandler(kUnlockReq, [this](SiteId, const Message& m, Responder r) {
+    BurnCpu(kLockServiceInstructions);
+    ServeUnlock(m.As<UnlockRequest>());
+    r(MakeMsg(kUnlockReq, Err::kOk));
+  });
+  RegisterBlockingHandler(kCommitFileReq, [this](SiteId, const Message& m, Responder r) {
+    r(MakeMsg(kCommitFileReq, ServeCommitFile(m.As<CommitFileRequest>())));
+  });
+  RegisterBlockingHandler(kReleaseProcessReq, [this](SiteId, const Message& m, Responder r) {
+    ServeReleaseProcess(m.As<ReleaseProcessRequest>().pid);
+    r(MakeMsg(kReleaseProcessReq, Err::kOk));
+  });
+  RegisterBlockingHandler(kPrepareReq, [this](SiteId, const Message& m, Responder r) {
+    r(MakeMsg(kPrepareReq, PrepareReply{ServePrepare(m.As<PrepareRequest>())}));
+  });
+  RegisterBlockingHandler(kCommitTxnReq, [this](SiteId, const Message& m, Responder r) {
+    ServeCommitTxn(m.As<CommitTxnRequest>().txn);
+    r(MakeMsg(kCommitTxnReq, Err::kOk));
+  });
+  RegisterBlockingHandler(kAbortTxnAtSiteReq, [this](SiteId, const Message& m, Responder r) {
+    ServeAbortTxnAtSite(m.As<AbortTxnAtSiteRequest>().txn);
+    if (r.valid()) {
+      r(MakeMsg(kAbortTxnAtSiteReq, Err::kOk));
+    }
+  });
+  RegisterBlockingHandler(kMemberJoinReq, [this](SiteId, const Message& m, Responder r) {
+    BurnCpu(300);
+    r(MakeMsg(kMemberJoinReq, DoMemberJoin(m.As<MemberJoinRequest>())));
+  });
+  RegisterBlockingHandler(kMergeFileListReq, [this](SiteId, const Message& m, Responder r) {
+    BurnCpu(300);
+    r(MakeMsg(kMergeFileListReq, DoMergeFileList(m.As<MergeFileListRequest>())));
+  });
+  RegisterBlockingHandler(kAbortTxnRouteReq, [this](SiteId, const Message& m, Responder r) {
+    r(MakeMsg(kAbortTxnRouteReq, DoAbortRoute(m.As<AbortTxnRouteRequest>())));
+  });
+  RegisterBlockingHandler(kKillProcessReq, [this](SiteId, const Message& m, Responder r) {
+    const auto& req = m.As<KillProcessRequest>();
+    KillProcessForAbort(req.pid, req.txn);
+    if (r.valid()) {
+      r(MakeMsg(kKillProcessReq, Err::kOk));
+    }
+  });
+  RegisterBlockingHandler(kReplicaPropagate, [this](SiteId, const Message& m, Responder) {
+    ServeReplicaPropagate(m.As<ReplicaPropagateMsg>());
+  });
+  RegisterBlockingHandler(kCreateFileReq, [this](SiteId, const Message& m, Responder r) {
+    const auto& req = m.As<CreateFileRequest>();
+    FileStore* store =
+        req.volume == kNoVolume ? StoreFor(volumes_[0]->id()) : StoreFor(req.volume);
+    if (store == nullptr) {
+      r(MakeMsg(kCreateFileReq, CreateFileReply{Err::kNoEnt, {}}));
+      return;
+    }
+    r(MakeMsg(kCreateFileReq, CreateFileReply{Err::kOk, store->CreateFile()}));
+  });
+  RegisterBlockingHandler(kRemoveFileReq, [this](SiteId, const Message& m, Responder r) {
+    const auto& req = m.As<RemoveFileRequest>();
+    FileStore* store = StoreFor(req.file.volume);
+    if (store != nullptr && store->Exists(req.file)) {
+      store->RemoveFile(req.file);
+    }
+    if (r.valid()) {
+      r(MakeMsg(kRemoveFileReq, Err::kOk));
+    }
+  });
+  RegisterBlockingHandler(kTruncateReq, [this](SiteId, const Message& m, Responder r) {
+    const auto& req = m.As<TruncateRequest>();
+    FileStore* store = StoreFor(req.file.volume);
+    Err err = Err::kNoEnt;
+    if (store != nullptr && store->Exists(req.file)) {
+      err = store->Truncate(req.file, req.size) ? Err::kOk : Err::kBusy;
+    }
+    r(MakeMsg(kTruncateReq, err));
+  });
+  net().RegisterHandler(site_, kReleasePrimaryReq,
+                        [this](SiteId, const Message& m, Responder) {
+                          if (alive_) {
+                            MaybeReleasePrimary(m.As<ReleasePrimaryRequest>().file);
+                          }
+                        });
+  net().RegisterHandler(site_, kTxnStatusReq, [this](SiteId, const Message& m, Responder r) {
+    if (!alive_ || !r.valid()) {
+      return;
+    }
+    const TxnId& txn = m.As<TxnStatusRequest>().txn;
+    // Presumed abort unless the STABLE coordinator log says otherwise (the
+    // volatile index may not be rebuilt yet right after a reboot) or the
+    // transaction is still active here / migrated elsewhere.
+    TxnStatus status = TxnStatus::kAborted;
+    for (const auto& [id, rec] : volumes_[0]->stable_log()) {
+      if (const auto* coord = std::any_cast<CoordinatorLogRecord>(&rec.payload)) {
+        if (coord->txn == txn) {
+          status = coord->status;
+          break;
+        }
+      }
+    }
+    if (status == TxnStatus::kAborted &&
+        (txns_.Find(txn) != nullptr || txn_forward_.count(txn) != 0)) {
+      status = TxnStatus::kUnknown;  // Active or migrated: not yet decided.
+    }
+    r(MakeMsg(kTxnStatusReq, TxnStatusReply{static_cast<int>(status)}));
+  });
+  net().RegisterHandler(site_, kWaitEdgesReq,
+                        [this](SiteId, const Message&, Responder r) {
+                          if (alive_ && r.valid()) {
+                            r(MakeMsg(kWaitEdgesReq, WaitEdgesReply{LocalWaitEdges()}));
+                          }
+                        });
+  net().OnTopologyChange(site_, [this] { HandleTopologyChange(); });
+}
+
+// ---------------------------------------------------------------------------
+// Storage-site service
+
+Err Kernel::ServeOpen(const FileId& file) {
+  FileStore* store = StoreFor(file.volume);
+  if (store == nullptr) {
+    return Err::kNoEnt;
+  }
+  return store->OpenFile(file).has_value() ? Err::kOk : Err::kNoEnt;
+}
+
+ReadReply Kernel::ServeRead(const ReadRequest& req) {
+  FileStore* store = StoreFor(req.file.volume);
+  if (store == nullptr) {
+    return ReadReply{Err::kNoEnt, {}};
+  }
+  if (!locks_.MayRead(req.file, req.range, req.owner)) {
+    stats().Add("lock.read_denied");
+    return ReadReply{Err::kAccess, {}};
+  }
+  return ReadReply{Err::kOk, store->Read(req.file, req.range)};
+}
+
+WriteReply Kernel::ServeWrite(const WriteRequest& req) {
+  FileStore* store = StoreFor(req.file.volume);
+  if (store == nullptr) {
+    return WriteReply{Err::kNoEnt, 0};
+  }
+  ByteRange range{req.offset, static_cast<int64_t>(req.bytes.size())};
+  if (!locks_.MayWrite(req.file, range, req.owner)) {
+    stats().Add("lock.write_denied");
+    return WriteReply{Err::kAccess, 0};
+  }
+  store->Write(req.file, req.owner, req.offset, req.bytes);
+  return WriteReply{Err::kOk, store->WorkingSize(req.file)};
+}
+
+void Kernel::ServeLock(const LockRequest& req, std::function<void(LockReply)> done) {
+  FileStore* store = StoreFor(req.file.volume);
+  if (store == nullptr) {
+    done(LockReply{Err::kNoEnt, {}});
+    return;
+  }
+  FileId file = req.file;
+  LockOwner owner = req.owner;
+  bool adopt = owner.txn.valid() && !req.non_transaction;
+  LockManager::RangeFn recompute;
+  if (req.append) {
+    // Section 3.2: append-mode requests are interpreted relative to the end
+    // of file, recomputed at every grant attempt — atomically with the grant
+    // — so concurrent extenders cannot livelock or overwrite each other.
+    int64_t length = req.range.length;
+    recompute = [store, file, length] {
+      return ByteRange{store->WorkingSize(file), length};
+    };
+  }
+  locks_.Request(file, req.range, owner, req.mode, req.non_transaction, req.wait,
+                 [this, store, file, owner, adopt, done](bool ok, ByteRange granted) {
+                   if (!ok) {
+                     done(LockReply{Err::kConflict, {}});
+                     return;
+                   }
+                   if (adopt) {
+                     // Section 3.3 rule 2: dirty uncommitted records under a
+                     // new transaction lock now belong to that transaction.
+                     for (const ByteRange& piece :
+                          store->AdoptDirtyRanges(file, granted, owner)) {
+                       locks_.MarkDirtyCovered(file, piece, owner);
+                     }
+                   }
+                   if (system_->options().lock_prefetch) {
+                     // Section 5.2 optimization: warm the pool with the
+                     // pages the holder is about to touch.
+                     store->PrefetchRange(file, granted);
+                   }
+                   done(LockReply{Err::kOk, granted});
+                 },
+                 std::move(recompute));
+}
+
+void Kernel::ServeUnlock(const UnlockRequest& req) {
+  locks_.Unlock(req.file, req.range, req.owner);
+}
+
+Err Kernel::ServeCommitFile(const CommitFileRequest& req) {
+  FileStore* store = StoreFor(req.file.volume);
+  if (store == nullptr) {
+    return Err::kNoEnt;
+  }
+  IntentionsList intentions = store->CommitWriter(req.file, req.owner);
+  PropagateReplicas(req.file, intentions);
+  MaybeReleasePrimary(req.file);
+  return Err::kOk;
+}
+
+void Kernel::MaybeReleasePrimary(const FileId& file) {
+  std::optional<std::string> path = catalog().PathOf(file);
+  if (!path.has_value()) {
+    return;
+  }
+  const CatalogEntry* entry = catalog().Lookup(*path);
+  if (entry == nullptr || entry->update_opens != 0 || entry->update_site != site_) {
+    return;
+  }
+  const LockList* locks = locks_.Find(file);
+  if (locks != nullptr && !locks->empty()) {
+    return;  // Retained transaction locks still pin the primary here.
+  }
+  FileStore* store = StoreFor(file.volume);
+  if (store != nullptr && store->HasAnyWriters(file)) {
+    return;  // Uncommitted records still pin the primary here.
+  }
+  catalog().ReleasePrimaryIfIdle(*path);
+}
+
+Err Kernel::ServePrepare(const PrepareRequest& req) {
+  LockOwner owner{kNoPid, req.txn};
+  if (locally_aborted_.count(req.txn) != 0) {
+    return Err::kAborted;  // The topology protocol aborted it here already.
+  }
+  // Group this site's intentions by volume: one prepare log per logical
+  // volume (section 4.4) unless the footnote-10 per-file fidelity mode is on.
+  std::map<VolumeId, std::vector<IntentionsList>> by_volume;
+  for (const FileId& file : req.files) {
+    FileStore* store = StoreFor(file.volume);
+    if (store == nullptr) {
+      return Err::kNoEnt;
+    }
+    std::optional<IntentionsList> intentions = store->PrepareWriter(file, owner);
+    if (intentions.has_value() && !intentions->updates.empty()) {
+      by_volume[file.volume].push_back(std::move(*intentions));
+    }
+  }
+  if (locally_aborted_.count(req.txn) != 0) {
+    // The abort arrived while we were flushing (the rollback was deferred to
+    // us); undo the flush and refuse to prepare.
+    for (auto& [vol_id, intentions] : by_volume) {
+      for (const IntentionsList& il : intentions) {
+        FileStore* store = StoreFor(il.file.volume);
+        store->AbortWriter(il.file, owner);
+      }
+    }
+    locks_.ReleaseTransaction(req.txn);
+    return Err::kAborted;
+  }
+  for (auto& [vol_id, intentions] : by_volume) {
+    Volume* volume = FindVolume(vol_id);
+    if (system_->options().prepare_log_per_file) {
+      for (IntentionsList& il : intentions) {
+        PrepareLogRecord rec{req.txn, req.coordinator, {il}};
+        uint64_t id = volume->AppendLog(rec, "prepare_log");
+        prepare_log_index_[req.txn].push_back({vol_id, id});
+      }
+    } else {
+      PrepareLogRecord rec{req.txn, req.coordinator, intentions};
+      uint64_t id = volume->AppendLog(rec, "prepare_log");
+      Trace("prepare %s -> log record %llu", ToString(req.txn).c_str(),
+            static_cast<unsigned long long>(id));
+      prepare_log_index_[req.txn].push_back({vol_id, id});
+    }
+  }
+  Trace("prepared %s (%zu files)", ToString(req.txn).c_str(), req.files.size());
+  return Err::kOk;
+}
+
+void Kernel::ServeCommitTxn(const TxnId& txn) {
+  if (!txn_resolution_in_progress_.insert(txn).second) {
+    return;  // A duplicate message raced an in-flight resolution.
+  }
+  LockOwner owner{kNoPid, txn};
+  std::vector<FileId> committed_files;
+  auto it = prepare_log_index_.find(txn);
+  if (it != prepare_log_index_.end()) {
+    for (const auto& [vol_id, record_id] : it->second) {
+      Volume* volume = FindVolume(vol_id);
+      auto log_it = volume->stable_log().find(record_id);
+      if (log_it == volume->stable_log().end()) {
+        continue;  // Duplicate commit message; already resolved (section 4.4).
+      }
+      const auto& rec = *std::any_cast<PrepareLogRecord>(&log_it->second.payload);
+      Trace("commit %s: installing log record %llu (%zu intentions)",
+            ToString(txn).c_str(), static_cast<unsigned long long>(record_id),
+            rec.intentions.size());
+      for (const IntentionsList& il : rec.intentions) {
+        FileStore* store = StoreFor(il.file.volume);
+        store->InstallIntentions(il);
+        store->FinishWriterCommit(il.file, owner);
+        PropagateReplicas(il.file, il);
+        committed_files.push_back(il.file);
+      }
+      volume->EraseLog(record_id);
+    }
+    prepare_log_index_.erase(txn);
+  }
+  // Phase two releases the retained locks (section 4.2).
+  locks_.ReleaseTransaction(txn);
+  for (const FileId& file : committed_files) {
+    MaybeReleasePrimary(file);
+  }
+  txn_resolution_in_progress_.erase(txn);
+  Trace("committed %s locally", ToString(txn).c_str());
+}
+
+void Kernel::ServeAbortTxnAtSite(const TxnId& txn) {
+  if (!txn_resolution_in_progress_.insert(txn).second) {
+    return;  // A duplicate message raced an in-flight resolution.
+  }
+  locally_aborted_.insert(txn);
+  LockOwner owner{kNoPid, txn};
+  // Prepared state first: roll back via writer state if we still have it
+  // (pre-crash) or free the logged shadow pages (post-crash).
+  auto it = prepare_log_index_.find(txn);
+  if (it != prepare_log_index_.end()) {
+    for (const auto& [vol_id, record_id] : it->second) {
+      Volume* volume = FindVolume(vol_id);
+      auto log_it = volume->stable_log().find(record_id);
+      if (log_it == volume->stable_log().end()) {
+        continue;
+      }
+      const auto& rec = *std::any_cast<PrepareLogRecord>(&log_it->second.payload);
+      for (const IntentionsList& il : rec.intentions) {
+        FileStore* store = StoreFor(il.file.volume);
+        if (store->HasUncommitted(il.file, owner)) {
+          store->AbortWriter(il.file, owner);
+        } else {
+          store->DiscardIntentions(il);
+        }
+      }
+      volume->EraseLog(record_id);
+    }
+    prepare_log_index_.erase(txn);
+  }
+  // Unprepared uncommitted modifications. A writer mid-prepare-flush cannot
+  // be rolled back immediately; retry until every rollback lands — the locks
+  // below must NOT be released while transactional dirty data remains.
+  std::vector<FileId> touched;
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    bool all_done = true;
+    for (auto& [vol_id, store] : stores_) {
+      for (const FileId& file : store->FilesWithUncommitted(owner)) {
+        if (store->AbortWriter(file, owner)) {
+          touched.push_back(file);
+        } else {
+          all_done = false;
+        }
+      }
+    }
+    if (all_done) {
+      break;
+    }
+    sim().Sleep(Milliseconds(10));
+  }
+  locks_.ReleaseTransaction(txn);
+  for (const FileId& file : touched) {
+    MaybeReleasePrimary(file);
+  }
+  txn_resolution_in_progress_.erase(txn);
+  Trace("aborted %s locally", ToString(txn).c_str());
+}
+
+void Kernel::ServeReleaseProcess(Pid pid) {
+  LockOwner owner{pid, kNoTxn};
+  // Section 4.3: a failed process's changes are aborted by the underlying
+  // system protocols.
+  for (auto& [vol_id, store] : stores_) {
+    for (const FileId& file : store->FilesWithUncommitted(owner)) {
+      store->AbortWriter(file, owner);
+    }
+  }
+  locks_.ReleaseProcess(pid);
+}
+
+void Kernel::ServeReplicaPropagate(const ReplicaPropagateMsg& msg) {
+  FileStore* store = StoreFor(msg.replica_file.volume);
+  if (store == nullptr || !store->Exists(msg.replica_file)) {
+    return;
+  }
+  LockOwner replicator{kReplicatorPid, kNoTxn};
+  for (const auto& [slot, bytes] : msg.pages) {
+    store->Write(msg.replica_file, replicator,
+                 static_cast<int64_t>(slot) * store->page_size(), bytes);
+  }
+  store->CommitWriter(msg.replica_file, replicator);
+  stats().Add("fs.replica_propagations");
+}
+
+void Kernel::PropagateReplicas(const FileId& primary, const IntentionsList& intentions) {
+  if (intentions.updates.empty()) {
+    return;
+  }
+  std::optional<std::string> path = catalog().PathOf(primary);
+  if (!path.has_value()) {
+    return;
+  }
+  CatalogEntry* entry = catalog().Find(*path);
+  if (entry == nullptr || entry->replicas.size() < 2) {
+    return;
+  }
+  FileStore* store = StoreFor(primary.volume);
+  ReplicaPropagateMsg base;
+  base.new_size = store->CommittedSize(primary);
+  int32_t total_bytes = kControlMsgBytes;
+  for (const PageUpdate& u : intentions.updates) {
+    int64_t offset = static_cast<int64_t>(u.page_index) * store->page_size();
+    std::vector<uint8_t> bytes = store->Read(primary, ByteRange{offset, store->page_size()});
+    total_bytes += static_cast<int32_t>(bytes.size());
+    base.pages.push_back({u.page_index, std::move(bytes)});
+  }
+  for (const Replica& r : entry->replicas) {
+    if (r.site == site_) {
+      continue;
+    }
+    ReplicaPropagateMsg msg = base;
+    msg.replica_file = r.file;
+    net().Send(site_, r.site, MakeMsg(kReplicaPropagate, std::move(msg), total_bytes));
+  }
+}
+
+}  // namespace locus

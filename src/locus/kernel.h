@@ -1,0 +1,261 @@
+// The per-site Locus kernel: syscall implementations, storage-site service,
+// transaction coordination (two-phase commit), abort cascade, migration, and
+// crash/recovery.
+//
+// Every site in the cluster runs one Kernel. User processes enter through
+// the Sys* methods (wrapped by the Syscalls facade); remote service arrives
+// through message handlers which spawn short-lived kernel processes for
+// blocking work, mirroring the paper's lightweight kernel-to-kernel
+// protocols.
+
+#ifndef SRC_LOCUS_KERNEL_H_
+#define SRC_LOCUS_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/fs/buffer_pool.h"
+#include "src/fs/catalog.h"
+#include "src/fs/file_store.h"
+#include "src/lock/lock_manager.h"
+#include "src/locus/errors.h"
+#include "src/locus/messages.h"
+#include "src/net/network.h"
+#include "src/proc/process.h"
+#include "src/sim/simulation.h"
+#include "src/storage/volume.h"
+#include "src/txn/transaction_manager.h"
+
+namespace locus {
+
+class System;
+
+// CPU cost model for syscall and protocol processing.
+inline constexpr int64_t kSyscallInstructions = 150;
+inline constexpr int64_t kNameResolveInstructionsPerComponent = 400;
+inline constexpr int64_t kForkInstructions = 2500;
+inline constexpr int64_t kMigrationImageBytes = 4096;
+inline constexpr int64_t kTwoPhaseCommitInstructions = 1800;
+inline constexpr int64_t kRemoteCommitMarshalInstructions = 7200;  // Figure 6.
+
+struct OpenFlags {
+  bool read = true;
+  bool write = false;
+  bool append = false;  // Section 3.2 append (lock-and-extend) mode.
+};
+
+enum class LockOp { kShared, kExclusive, kUnlock };
+
+struct LockFlags {
+  bool wait = true;             // Queue on conflict rather than fail.
+  bool non_transaction = false;  // Section 3.4 non-transaction lock.
+};
+
+class Kernel {
+ public:
+  static constexpr int32_t kDefaultPoolPages = 256;
+
+  Kernel(System* system, SiteId site);
+
+  SiteId site() const { return site_; }
+  bool alive() const { return alive_; }
+
+  // Attaches a volume hosted at this site. The first volume is the root
+  // volume holding this site's coordinator log.
+  void AttachVolume(std::unique_ptr<Volume> volume);
+  Volume* FindVolume(VolumeId id);
+  FileStore* StoreFor(VolumeId id);
+  std::vector<Volume*> volumes();
+
+  // Wires up message handlers; call once after construction.
+  void Start();
+
+  // --- Syscall layer (called in the invoking process's context) ---
+  Err SysMkdir(OsProcess* p, const std::string& path);
+  // Creates a file with replicas on `replication` distinct sites (first at
+  // the caller's site). `volume_hint` places the first replica on a specific
+  // local volume (multi-volume experiments).
+  Err SysCreat(OsProcess* p, const std::string& path, int replication,
+               VolumeId volume_hint = kNoVolume);
+  Err SysUnlink(OsProcess* p, const std::string& path);
+  Result<int> SysOpen(OsProcess* p, const std::string& path, OpenFlags flags);
+  Err SysClose(OsProcess* p, int fd);
+  Result<std::vector<uint8_t>> SysRead(OsProcess* p, int fd, int64_t length);
+  Err SysWrite(OsProcess* p, int fd, const std::vector<uint8_t>& bytes);
+  Result<int64_t> SysSeek(OsProcess* p, int fd, int64_t offset);
+  Result<int64_t> SysFileSize(OsProcess* p, int fd);
+  // The paper's Lock(file, length, mode) interface: the range starts at the
+  // channel's current offset (or at end-of-file in append mode).
+  Result<ByteRange> SysLock(OsProcess* p, int fd, int64_t length, LockOp op, LockFlags flags);
+  // Single-file commit of the calling process's uncommitted records
+  // (non-transaction processes; the base Locus commit-at-close mechanism).
+  Err SysCommitFile(OsProcess* p, int fd);
+  // Shrinks the file to `size` bytes (durable at once; refused while any
+  // uncommitted records exist or when the caller is in a transaction).
+  Err SysTruncate(OsProcess* p, int fd, int64_t size);
+  // Directory listing of the transparent namespace.
+  Result<std::vector<std::string>> SysReadDir(OsProcess* p, const std::string& path);
+
+  Err SysBeginTrans(OsProcess* p);
+  Err SysEndTrans(OsProcess* p);
+  Err SysAbortTrans(OsProcess* p);
+
+  Result<Pid> SysFork(OsProcess* p, SiteId target_site,
+                      std::function<void(OsProcess*)> body);
+  void SysWaitChildren(OsProcess* p);
+  Err SysMigrate(OsProcess* p, SiteId to);
+  // Process teardown; called when a process body returns.
+  void SysExit(OsProcess* p);
+
+  // --- Process bootstrap ---
+  // Creates a fresh process at this site running `body` (an "init"-spawned
+  // program). Returns its pid.
+  Pid StartProcess(const std::string& name, std::function<void(OsProcess*)> body);
+
+  OsProcess* FindProcess(Pid pid) { return procs_.Find(pid); }
+  ProcessTable& process_table() { return procs_; }
+  LockManager& lock_manager() { return locks_; }
+  TransactionManager& txn_manager() { return txns_; }
+  BufferPool& buffer_pool() { return pool_; }
+
+  // --- Crash / recovery ---
+  // Tears down all volatile state; resident processes die. Called by
+  // System::CrashSite after the network layer marks the site dead.
+  void OnCrash();
+  // Reboot-time recovery (section 4.4): rebuild volume allocation from
+  // stable inodes plus unresolved prepare intentions, then scan coordinator
+  // logs and queue commit/abort completion work.
+  void OnReboot();
+
+  // Aborts a transaction whose top-level process lives here. Safe to call
+  // multiple times.
+  void AbortTransactionLocal(const TxnId& txn, const std::string& reason);
+
+  // Deadlock-detector entry point: wait-for edges at this site.
+  std::vector<WaitEdge> LocalWaitEdges() const { return locks_.WaitForEdges(); }
+
+  // Test/diagnostic access.
+  int64_t live_kernel_processes() const;
+
+ private:
+  friend class System;
+
+  // --- Infrastructure ---
+  Simulation& sim();
+  Network& net();
+  Catalog& catalog();
+  StatRegistry& stats();
+  TraceLog& trace();
+  // Consumes simulated CPU at this site and attributes it in the stats
+  // ("cpu.<site>" in instructions) — the service-time measure of Figure 6.
+  void BurnCpu(int64_t instructions);
+  void Trace(const char* format, ...) __attribute__((format(printf, 2, 3)));
+  // Spawns a tracked kernel process (killed on crash).
+  SimProcess* SpawnKernelProcess(const std::string& name, std::function<void()> body);
+  // Registers a handler that runs `fn` in a fresh kernel process.
+  void RegisterBlockingHandler(int32_t type,
+                               std::function<void(SiteId, const Message&, Responder)> fn);
+  // RPC helper: local calls short-circuit the network.
+  bool IsLocal(SiteId s) const { return s == site_; }
+
+  // --- Storage-site service (runs at the file's storage site) ---
+  Err ServeOpen(const FileId& file);
+  ReadReply ServeRead(const ReadRequest& req);
+  WriteReply ServeWrite(const WriteRequest& req);
+  // Processes a lock request at the storage site; `done` fires when granted,
+  // denied, or cancelled.
+  void ServeLock(const LockRequest& req, std::function<void(LockReply)> done);
+  void ServeUnlock(const UnlockRequest& req);
+  Err ServeCommitFile(const CommitFileRequest& req);
+  Err ServePrepare(const PrepareRequest& req);
+  void ServeCommitTxn(const TxnId& txn);
+  void ServeAbortTxnAtSite(const TxnId& txn);
+  void ServeReleaseProcess(Pid pid);
+  void ServeReplicaPropagate(const ReplicaPropagateMsg& msg);
+
+  // --- Requester-side helpers ---
+  Result<ByteRange> RequestLock(OsProcess* p, Channel& ch, LockRequest req);
+  Err ImplicitLock(OsProcess* p, Channel& ch, const ByteRange& range, LockMode mode);
+  LockOwner OwnerOf(const OsProcess* p) const;
+  Channel* ChannelFor(OsProcess* p, int fd);
+  void NoteUse(OsProcess* p, const Channel& ch);
+
+  // --- Transaction control-plane service (runs at the top-level site) ---
+  MemberJoinReply DoMemberJoin(const MemberJoinRequest& req);
+  MergeFileListReply DoMergeFileList(const MergeFileListRequest& req);
+  AbortTxnRouteReply DoAbortRoute(const AbortTxnRouteRequest& req);
+  // Registers a forked child with the transaction's top-level site.
+  Err RegisterMember(OsProcess* p, Pid child, SiteId child_site);
+
+  // --- Transaction machinery ---
+  Err RunTwoPhaseCommit(OsProcess* p, TxnRecord* record);
+  void AbortDuringCommit(TxnRecord* record, uint64_t coord_log_id,
+                         const std::vector<SiteId>& prepared_sites);
+  // Asynchronous phase two: sends commit messages until every participant
+  // acknowledges, then erases the coordinator log (section 4.2).
+  void SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants, uint64_t log_id);
+  // Routes an abort request toward the top-level process's site, following
+  // forwarding pointers left by migrations.
+  void RouteAbort(const TxnId& txn, const std::string& reason, SiteId first_target = kNoSite);
+  // Sends the exiting member's file-list to the top-level site with retries
+  // for the in-transit race (section 4.1).
+  void SendFileListMerge(OsProcess* p);
+  void PropagateReplicas(const FileId& primary, const IntentionsList& intentions);
+  void ClearTxnState(OsProcess* p);
+  // Clears the file's primary-update-site designation once no update opens,
+  // locks, or uncommitted writers remain at this (primary) site, letting
+  // replicas serve reads locally again (section 5.2).
+  void MaybeReleasePrimary(const FileId& file);
+  // Kills a process subtree resident here (abort cascade, section 4.3).
+  void KillProcessForAbort(Pid pid, const TxnId& txn);
+  void HandleTopologyChange();
+
+  System* system_;
+  SiteId site_;
+  bool alive_ = true;
+  ProcessTable procs_;
+  LockManager locks_;
+  TransactionManager txns_;
+  BufferPool pool_;
+  std::vector<std::unique_ptr<Volume>> volumes_;
+  std::map<VolumeId, std::unique_ptr<FileStore>> stores_;
+  // Coordinator-log record ids by transaction (volatile index of the root
+  // volume's stable log).
+  std::map<TxnId, uint64_t> coordinator_log_index_;
+  // Prepared-transaction index: txn -> (volume, prepare log record id) pairs
+  // (several per volume in the footnote-10 per-file fidelity mode).
+  std::map<TxnId, std::vector<std::pair<VolumeId, uint64_t>>> prepare_log_index_;
+  // Forwarding for migrated transaction records (top-level process moved).
+  std::map<TxnId, SiteId> txn_forward_;
+  // Transactions with a phase-two driver currently running here.
+  std::set<TxnId> phase2_active_;
+  // Transactions whose local commit/abort resolution is currently executing
+  // (it spans blocking disk I/O). Duplicate commit or abort messages —
+  // coordinator retries racing participant recovery — must not start a
+  // second concurrent resolution: installs would double-free pages.
+  std::set<TxnId> txn_resolution_in_progress_;
+  // Abort cascades in flight; AbortTrans waits on these so rollback is
+  // visible when the call returns.
+  std::map<TxnId, std::shared_ptr<WaitQueue>> abort_done_;
+  // Tombstones of transactions aborted at this site. A prepare that was
+  // already in flight when the abort arrived consults these before writing
+  // its prepare log, closing the window where an aborted transaction could
+  // end up locally prepared with its locks already released.
+  std::set<TxnId> locally_aborted_;
+  std::vector<SimProcess*> kernel_procs_;
+  // Records of killed processes. They are kept (not freed) until kernel
+  // destruction because their SimProcess threads may still be unwinding and
+  // in-flight callbacks may hold pointers.
+  std::vector<std::unique_ptr<OsProcess>> retired_;
+  uint64_t next_kproc_ = 1;
+};
+
+}  // namespace locus
+
+#endif  // SRC_LOCUS_KERNEL_H_

@@ -1,0 +1,747 @@
+// Transaction layer of the Kernel: BeginTrans/EndTrans/AbortTrans, the
+// two-phase commit protocol with its three log levels (section 4.2), the
+// abort cascade (section 4.3), control-plane routing that chases migrating
+// top-level processes (section 4.1), and crash recovery (section 4.4).
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/locus/kernel.h"
+#include "src/locus/system.h"
+
+namespace locus {
+
+namespace {
+constexpr int32_t kControlMsgBytes = 96;
+constexpr int kRouteAttempts = 12;
+
+template <typename T>
+Message MakeMsg(MsgType type, T payload, int32_t size_bytes = kControlMsgBytes) {
+  Message m;
+  m.type = type;
+  m.size_bytes = size_bytes;
+  m.payload = std::move(payload);
+  return m;
+}
+
+void AddUniqueFiles(std::vector<UsedFile>& dest, const std::vector<UsedFile>& src) {
+  for (const UsedFile& f : src) {
+    if (std::find(dest.begin(), dest.end(), f) == dest.end()) {
+      dest.push_back(f);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Syscalls
+
+Err Kernel::SysBeginTrans(OsProcess* p) {
+  BurnCpu(kSyscallInstructions);
+  if (p->txn.valid()) {
+    // Simple nesting (section 2): composition bumps the nesting count.
+    p->txn_nesting++;
+    stats().Add("txn.nested_begins");
+    return Err::kOk;
+  }
+  TxnRecord* record = txns_.Begin(p->pid, net().BootEpoch(site_));
+  p->txn = record->id;
+  p->txn_nesting = 1;
+  p->txn_top_level = true;
+  p->txn_aborted = false;
+  p->txn_top_site_hint = site_;
+  stats().Add("txn.begins");
+  Trace("%s begun by pid %lld", ToString(p->txn).c_str(), static_cast<long long>(p->pid));
+  return Err::kOk;
+}
+
+Err Kernel::SysEndTrans(OsProcess* p) {
+  BurnCpu(kSyscallInstructions);
+  if (!p->txn.valid()) {
+    return Err::kNoTransaction;
+  }
+  if (p->txn_nesting > 0) {
+    p->txn_nesting--;
+  }
+  if (p->txn_nesting > 0) {
+    return Err::kOk;  // Inner EndTrans of a composed transaction.
+  }
+  if (!p->txn_top_level) {
+    // A member's outermost EndTrans does not commit anything; the member
+    // completes (and merges its file-list) at exit.
+    return p->txn_aborted ? Err::kAborted : Err::kOk;
+  }
+  TxnRecord* record = txns_.Find(p->txn);
+  if (record == nullptr || p->txn_aborted || record->abort_requested) {
+    if (record != nullptr) {
+      txns_.Erase(p->txn);
+    }
+    ClearTxnState(p);
+    return Err::kAborted;
+  }
+  // Fold the top-level process's own file-list into the transaction's.
+  AddUniqueFiles(record->files, p->file_list);
+  // Section 4.2: commit begins only when all subprocesses have completed.
+  txns_.WaitMembersDone(p->txn);
+  record = txns_.Find(p->txn);
+  if (record == nullptr || p->txn_aborted || record->abort_requested) {
+    if (record != nullptr) {
+      txns_.Erase(p->txn);
+    }
+    ClearTxnState(p);
+    return Err::kAborted;
+  }
+  Err err = RunTwoPhaseCommit(p, record);
+  ClearTxnState(p);
+  return err;
+}
+
+Err Kernel::SysAbortTrans(OsProcess* p) {
+  BurnCpu(kSyscallInstructions);
+  if (!p->txn.valid()) {
+    return Err::kNoTransaction;
+  }
+  TxnId txn = p->txn;
+  RouteAbort(txn, "AbortTrans", p->txn_top_site_hint);
+  if (p->txn_top_level) {
+    // Wait for the local cascade so the rollback is visible on return.
+    auto it = abort_done_.find(txn);
+    if (it != abort_done_.end()) {
+      std::shared_ptr<WaitQueue> done = it->second;
+      done->Wait();
+    }
+    txns_.Erase(txn);
+    ClearTxnState(p);
+  } else {
+    p->txn_aborted = true;  // The cascade will terminate this member shortly.
+  }
+  return Err::kOk;
+}
+
+void Kernel::ClearTxnState(OsProcess* p) {
+  p->txn = kNoTxn;
+  p->txn_nesting = 0;
+  p->txn_top_level = false;
+  p->txn_aborted = false;
+  p->txn_top_site_hint = kNoSite;
+  p->file_list.clear();
+  p->lock_cache.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase commit (coordinator side; runs in the top-level process)
+
+Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
+  const TxnId txn = record->id;
+  if (record->files.empty()) {
+    // Nothing used: trivial commit, no logs (the common nested-composition
+    // case where an inner call did all the work of a larger transaction).
+    txns_.Erase(txn);
+    stats().Add("txn.committed_trivial");
+    return Err::kOk;
+  }
+  BurnCpu(kTwoPhaseCommitInstructions);
+  record->phase = TxnRecord::Phase::kPreparing;
+  std::vector<SiteId> participants;
+  for (const UsedFile& f : record->files) {
+    if (std::find(participants.begin(), participants.end(), f.storage_site) ==
+        participants.end()) {
+      participants.push_back(f.storage_site);
+    }
+  }
+  std::sort(participants.begin(), participants.end());
+
+  // Step 1: the coordinator log, naming every file and storage site, with the
+  // status marker initially unknown.
+  Volume* root = volumes_[0].get();
+  CoordinatorLogRecord coord{txn, TxnStatus::kUnknown, record->files};
+  uint64_t log_id = root->AppendLog(coord, "coordinator_log");
+  coordinator_log_index_[txn] = log_id;
+
+  // Step 2: prepare messages to every participant site.
+  std::vector<SiteId> prepared;
+  Err failure = Err::kOk;
+  for (SiteId s : participants) {
+    if (record->abort_requested) {
+      failure = Err::kAborted;
+      break;
+    }
+    PrepareRequest req;
+    req.txn = txn;
+    req.coordinator = site_;
+    for (const UsedFile& f : record->files) {
+      if (f.storage_site == s) {
+        req.files.push_back(f.file);
+      }
+    }
+    Err err;
+    if (IsLocal(s)) {
+      err = ServePrepare(req);
+    } else {
+      RpcResult res = net().Call(site_, s, MakeMsg(kPrepareReq, req));
+      err = res.ok ? res.reply.As<PrepareReply>().err : Err::kUnreachable;
+    }
+    if (err != Err::kOk) {
+      failure = err;
+      break;
+    }
+    prepared.push_back(s);
+  }
+  if (failure != Err::kOk || record->abort_requested) {
+    AbortDuringCommit(record, log_id, participants);
+    return Err::kAborted;
+  }
+
+  // Step 3: the commit point — the status marker flips to committed.
+  coord.status = TxnStatus::kCommitted;
+  root->UpdateLog(log_id, coord, "commit_mark");
+  stats().Add("txn.committed");
+  Trace("%s committed (%zu participants)", ToString(txn).c_str(), participants.size());
+
+  // Step 4: phase two runs asynchronously in a kernel process; EndTrans
+  // returns at the commit point (section 6.1's I/O accounting depends on
+  // this split).
+  txns_.Erase(txn);
+  SpawnPhaseTwo(txn, participants, log_id);
+  (void)p;
+  return Err::kOk;
+}
+
+void Kernel::SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants,
+                           uint64_t log_id) {
+  if (!phase2_active_.insert(txn).second) {
+    return;  // A driver for this transaction is already running here.
+  }
+  SpawnKernelProcess("phase2", [this, txn, participants, log_id] {
+    std::vector<SiteId> remaining = participants;
+    int idle_rounds = 0;
+    while (!remaining.empty() && idle_rounds < 200) {
+      std::vector<SiteId> still;
+      for (SiteId s : remaining) {
+        if (IsLocal(s)) {
+          ServeCommitTxn(txn);
+          continue;
+        }
+        RpcResult res = net().Call(site_, s, MakeMsg(kCommitTxnReq, CommitTxnRequest{txn}));
+        if (!res.ok) {
+          still.push_back(s);
+        }
+      }
+      remaining = std::move(still);
+      if (!remaining.empty()) {
+        idle_rounds++;
+        sim().Sleep(Milliseconds(300));
+      }
+    }
+    phase2_active_.erase(txn);
+    if (remaining.empty()) {
+      // All participants installed their intentions; the coordinator log has
+      // served its purpose (section 4.4: retained until completion).
+      volumes_[0]->EraseLog(log_id);
+      coordinator_log_index_.erase(txn);
+      stats().Add("txn.phase2_completed");
+    }
+    // Otherwise the log stays; recovery or a topology change re-drives it.
+  });
+}
+
+void Kernel::AbortDuringCommit(TxnRecord* record, uint64_t coord_log_id,
+                               const std::vector<SiteId>& participants) {
+  const TxnId txn = record->id;
+  Volume* root = volumes_[0].get();
+  CoordinatorLogRecord coord{txn, TxnStatus::kAborted, record->files};
+  root->UpdateLog(coord_log_id, coord, "abort_mark");
+  for (SiteId s : participants) {
+    if (IsLocal(s)) {
+      ServeAbortTxnAtSite(txn);
+    } else {
+      net().Call(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
+    }
+  }
+  root->EraseLog(coord_log_id);
+  coordinator_log_index_.erase(txn);
+  txns_.Erase(txn);
+  stats().Add("txn.aborted_in_commit");
+  Trace("%s aborted during commit", ToString(txn).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Abort cascade (section 4.3)
+
+void Kernel::AbortTransactionLocal(const TxnId& txn, const std::string& reason) {
+  TxnRecord* record = txns_.Find(txn);
+  if (record == nullptr || record->abort_requested) {
+    return;
+  }
+  record->abort_requested = true;
+  record->abort_reason = reason;
+  stats().Add("txn.aborted");
+  Trace("%s abort requested: %s", ToString(txn).c_str(), reason.c_str());
+
+  std::vector<UsedFile> files = record->files;
+  OsProcess* top = procs_.Find(record->top_pid);
+  if (top != nullptr) {
+    top->txn_aborted = true;
+    AddUniqueFiles(files, top->file_list);
+  }
+  txns_.WakeBarrier(txn);
+  std::vector<std::pair<Pid, SiteId>> members = record->members;
+  Pid top_pid = record->top_pid;
+  record->members.clear();
+  record->active_members = 1;
+  auto done = std::make_shared<WaitQueue>(&sim());
+  abort_done_[txn] = done;
+
+  SpawnKernelProcess("abort-cascade", [this, txn, files, members, top_pid, done] {
+    // Roll back file state and release locks at every involved site.
+    std::vector<SiteId> sites{site_};
+    for (const UsedFile& f : files) {
+      if (std::find(sites.begin(), sites.end(), f.storage_site) == sites.end()) {
+        sites.push_back(f.storage_site);
+      }
+    }
+    for (const auto& [pid, msite] : members) {
+      if (std::find(sites.begin(), sites.end(), msite) == sites.end()) {
+        sites.push_back(msite);
+      }
+    }
+    for (SiteId s : sites) {
+      if (IsLocal(s)) {
+        ServeAbortTxnAtSite(txn);
+      } else {
+        net().Call(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
+      }
+    }
+    // The abort cascades down the process tree: members are terminated.
+    for (const auto& [pid, msite] : members) {
+      if (pid == top_pid) {
+        continue;
+      }
+      if (IsLocal(msite)) {
+        KillProcessForAbort(pid, txn);
+      } else {
+        net().Send(site_, msite, MakeMsg(kKillProcessReq, KillProcessRequest{pid, txn}));
+      }
+    }
+    abort_done_.erase(txn);
+    done->NotifyAll();
+  });
+}
+
+void Kernel::KillProcessForAbort(Pid pid, const TxnId& txn) {
+  OsProcess* p = procs_.Find(pid);
+  if (p == nullptr) {
+    SiteId forward = procs_.ForwardingFor(pid);
+    if (forward != kNoSite && net().Reachable(site_, forward)) {
+      net().Send(site_, forward, MakeMsg(kKillProcessReq, KillProcessRequest{pid, txn}));
+    }
+    return;
+  }
+  if (!p->txn.valid() || p->txn != txn) {
+    return;  // Stale kill; the process moved on.
+  }
+  if (p->sim_process != nullptr) {
+    sim().Kill(p->sim_process);
+  }
+  for (SiteId s : p->lock_sites) {
+    if (IsLocal(s)) {
+      ServeReleaseProcess(pid);
+      SpawnKernelProcess("abort-locks", [this, txn] { ServeAbortTxnAtSite(txn); });
+    } else {
+      net().Send(site_, s, MakeMsg(kReleaseProcessReq, ReleaseProcessRequest{pid}));
+      // The member may hold (or be queued for) transaction locks at sites the
+      // abort cascade did not visit — its file-list never merged. Clear them.
+      net().Send(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
+    }
+  }
+  if (OsProcess* parent = system_->Locate(p->parent)) {
+    std::erase(parent->children, pid);
+    parent->children_exited->NotifyAll();
+  }
+  retired_.push_back(procs_.Take(pid));
+  stats().Add("proc.killed");
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane routing (chases the migrating top-level process)
+
+MemberJoinReply Kernel::DoMemberJoin(const MemberJoinRequest& req) {
+  TxnRecord* record = txns_.Find(req.txn);
+  if (record == nullptr) {
+    auto it = txn_forward_.find(req.txn);
+    return MemberJoinReply{Err::kNoEnt, it == txn_forward_.end() ? kNoSite : it->second};
+  }
+  if (record->abort_requested) {
+    return MemberJoinReply{Err::kAborted, kNoSite};
+  }
+  OsProcess* top = procs_.Find(record->top_pid);
+  if (top != nullptr && top->in_transit) {
+    return MemberJoinReply{Err::kBusy, kNoSite};
+  }
+  record->active_members++;
+  record->members.push_back({req.member, req.member_site});
+  return MemberJoinReply{Err::kOk, kNoSite};
+}
+
+MergeFileListReply Kernel::DoMergeFileList(const MergeFileListRequest& req) {
+  TxnRecord* record = txns_.Find(req.txn);
+  if (record == nullptr) {
+    auto it = txn_forward_.find(req.txn);
+    return MergeFileListReply{Err::kNoEnt, it == txn_forward_.end() ? kNoSite : it->second};
+  }
+  OsProcess* top = procs_.Find(record->top_pid);
+  if (top == nullptr) {
+    return MergeFileListReply{Err::kNoEnt, kNoSite};
+  }
+  if (top->in_transit) {
+    // Section 4.1: the top-level process is migrating; the sender retries.
+    stats().Add("txn.merge_retries");
+    return MergeFileListReply{Err::kBusy, kNoSite};
+  }
+  // Latch the process against migration for the (short) apply duration.
+  top->migration_locks++;
+  BurnCpu(250);
+  txns_.MemberExited(req.txn, req.files);
+  std::erase_if(record->members,
+                [&](const auto& m) { return m.first == req.exiting_member; });
+  top->migration_locks--;
+  stats().Add("txn.merges");
+  return MergeFileListReply{Err::kOk, kNoSite};
+}
+
+AbortTxnRouteReply Kernel::DoAbortRoute(const AbortTxnRouteRequest& req) {
+  if (txns_.Find(req.txn) != nullptr) {
+    AbortTransactionLocal(req.txn, req.reason);
+    return AbortTxnRouteReply{Err::kOk, kNoSite};
+  }
+  auto it = txn_forward_.find(req.txn);
+  return AbortTxnRouteReply{Err::kNoEnt, it == txn_forward_.end() ? kNoSite : it->second};
+}
+
+Err Kernel::RegisterMember(OsProcess* p, Pid child, SiteId child_site) {
+  MemberJoinRequest req{p->txn, child, child_site};
+  SiteId target = p->txn_top_site_hint != kNoSite ? p->txn_top_site_hint : p->txn.site;
+  for (int attempt = 0; attempt < kRouteAttempts; ++attempt) {
+    MemberJoinReply reply;
+    if (target == site_) {
+      reply = DoMemberJoin(req);
+    } else {
+      RpcResult res = net().Call(site_, target, MakeMsg(kMemberJoinReq, req));
+      if (!res.ok) {
+        return Err::kUnreachable;
+      }
+      reply = res.reply.As<MemberJoinReply>();
+    }
+    switch (reply.err) {
+      case Err::kOk:
+        p->txn_top_site_hint = target;
+        return Err::kOk;
+      case Err::kBusy:
+        sim().Sleep(Milliseconds(5));
+        continue;
+      case Err::kAborted:
+        return Err::kAborted;
+      default:
+        if (reply.forward != kNoSite) {
+          target = reply.forward;
+          continue;
+        }
+        return Err::kAborted;  // Transaction gone.
+    }
+  }
+  return Err::kUnreachable;
+}
+
+void Kernel::SendFileListMerge(OsProcess* p) {
+  MergeFileListRequest req{p->txn, p->pid, p->file_list};
+  SiteId target = p->txn_top_site_hint != kNoSite ? p->txn_top_site_hint : p->txn.site;
+  for (int attempt = 0; attempt < kRouteAttempts; ++attempt) {
+    MergeFileListReply reply;
+    if (target == site_) {
+      reply = DoMergeFileList(req);
+    } else {
+      RpcResult res = net().Call(site_, target, MakeMsg(kMergeFileListReq, req));
+      if (!res.ok) {
+        return;  // Unreachable: the topology protocol aborts the transaction.
+      }
+      reply = res.reply.As<MergeFileListReply>();
+    }
+    switch (reply.err) {
+      case Err::kOk:
+        return;
+      case Err::kBusy:
+        sim().Sleep(Milliseconds(5));
+        continue;
+      default:
+        if (reply.forward != kNoSite) {
+          target = reply.forward;
+          continue;
+        }
+        return;  // Transaction resolved or aborted without us.
+    }
+  }
+}
+
+void Kernel::RouteAbort(const TxnId& txn, const std::string& reason, SiteId first_target) {
+  AbortTxnRouteRequest req{txn, reason};
+  SiteId target = first_target != kNoSite ? first_target : txn.site;
+  for (int attempt = 0; attempt < kRouteAttempts; ++attempt) {
+    AbortTxnRouteReply reply;
+    if (target == site_) {
+      reply = DoAbortRoute(req);
+    } else {
+      RpcResult res = net().Call(site_, target, MakeMsg(kAbortTxnRouteReq, req));
+      if (!res.ok) {
+        return;
+      }
+      reply = res.reply.As<AbortTxnRouteReply>();
+    }
+    if (reply.err == Err::kOk) {
+      return;
+    }
+    if (reply.forward != kNoSite) {
+      target = reply.forward;
+      continue;
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Topology changes, crash, recovery (sections 4.3-4.4)
+
+void Kernel::HandleTopologyChange() {
+  if (!alive_) {
+    return;
+  }
+  stats().Add("net.topology_changes_seen");
+  // Abort transactions coordinated here that span now-unreachable sites.
+  for (TxnRecord* record : txns_.ActiveTransactions()) {
+    bool lost = false;
+    for (const UsedFile& f : record->files) {
+      if (!net().Reachable(site_, f.storage_site)) {
+        lost = true;
+      }
+    }
+    for (const auto& [pid, msite] : record->members) {
+      if (!net().Reachable(site_, msite)) {
+        lost = true;
+      }
+    }
+    if (lost) {
+      AbortTransactionLocal(record->id, "topology change");
+    }
+  }
+  // Locally held locks and uncommitted state of foreign transactions whose
+  // home is unreachable: abort unless already prepared (a prepared
+  // participant must block for the coordinator — standard two-phase commit).
+  for (const TxnId& txn : locks_.TransactionsWithLocks()) {
+    if (txn.site == site_ || prepare_log_index_.count(txn) != 0) {
+      continue;
+    }
+    if (!net().Reachable(site_, txn.site)) {
+      SpawnKernelProcess("topo-abort",
+                         [this, txn] { ServeAbortTxnAtSite(txn); });
+    }
+  }
+  // Resident members of transactions whose home is unreachable die; orphaned
+  // waits on children at dead sites unblock.
+  for (OsProcess* p : procs_.All()) {
+    if (p->txn.valid() && !p->txn_top_level) {
+      SiteId home = p->txn_top_site_hint != kNoSite ? p->txn_top_site_hint : p->txn.site;
+      if (!net().Reachable(site_, home)) {
+        Pid pid = p->pid;
+        TxnId txn = p->txn;
+        SpawnKernelProcess("topo-kill", [this, pid, txn] {
+          ServeAbortTxnAtSite(txn);
+          KillProcessForAbort(pid, txn);
+        });
+      }
+    }
+    std::vector<Pid> children = p->children;
+    bool lost_child = false;
+    for (Pid child : children) {
+      if (system_->Locate(child) == nullptr) {
+        std::erase(p->children, child);
+        lost_child = true;
+      }
+    }
+    if (lost_child) {
+      p->children_exited->NotifyAll();
+    }
+  }
+  // Re-drive phase two for committed transactions whose participants were
+  // unreachable (the coordinator is responsible for completion).
+  for (const auto& [txn, log_id] : coordinator_log_index_) {
+    if (phase2_active_.count(txn) != 0) {
+      continue;
+    }
+    auto log_it = volumes_[0]->stable_log().find(log_id);
+    if (log_it == volumes_[0]->stable_log().end()) {
+      continue;
+    }
+    const auto* coord = std::any_cast<CoordinatorLogRecord>(&log_it->second.payload);
+    if (coord != nullptr && coord->status == TxnStatus::kCommitted) {
+      std::vector<SiteId> participants;
+      for (const UsedFile& f : coord->files) {
+        if (std::find(participants.begin(), participants.end(), f.storage_site) ==
+            participants.end()) {
+          participants.push_back(f.storage_site);
+        }
+      }
+      SpawnPhaseTwo(txn, participants, log_id);
+    }
+  }
+}
+
+void Kernel::OnCrash() {
+  alive_ = false;
+  for (OsProcess* p : procs_.All()) {
+    if (p->sim_process != nullptr) {
+      sim().Kill(p->sim_process);
+    }
+    // Retire rather than free: the dying threads may still be unwinding.
+    retired_.push_back(procs_.Take(p->pid));
+  }
+  procs_.Clear();
+  for (SimProcess* kp : kernel_procs_) {
+    if (kp->state() != SimProcess::State::kFinished) {
+      sim().Kill(kp);
+    }
+  }
+  kernel_procs_.clear();
+  locks_.Clear();
+  txns_.Clear();
+  pool_.Clear();
+  for (auto& v : volumes_) {
+    v->OnCrash();
+  }
+  for (auto& [id, store] : stores_) {
+    store->OnCrash();
+  }
+  coordinator_log_index_.clear();
+  prepare_log_index_.clear();
+  txn_forward_.clear();
+  phase2_active_.clear();
+  abort_done_.clear();
+  txn_resolution_in_progress_.clear();
+  locally_aborted_.clear();
+  stats().Add("sys.crashes");
+}
+
+void Kernel::OnReboot() {
+  // Message service stays down (handlers silently drop requests, so senders
+  // retry) until local recovery has rebuilt the volatile indexes. Otherwise
+  // a commit message could land before the prepare-log index exists and be
+  // mistaken for a duplicate of an already-resolved transaction — the
+  // coordinator would then erase its log and the committed intentions would
+  // be orphaned.
+  txns_.set_boot_epoch(net().BootEpoch(site_));
+  stats().Add("sys.reboots");
+  SpawnKernelProcess("recovery", [this] {
+    // Per-volume recovery: rebuild allocation bitmaps from stable inodes plus
+    // the shadow pages named by unresolved prepare records (section 4.4: the
+    // log decides which pages are freed and which kept).
+    for (auto& v : volumes_) {
+      v->disk().Read(1, "recovery_scan");
+      std::vector<PageId> live;
+      for (const auto& [id, rec] : v->stable_log()) {
+        if (const auto* prep = std::any_cast<PrepareLogRecord>(&rec.payload)) {
+          Trace("recovery: prepare record %llu for %s",
+                static_cast<unsigned long long>(id), ToString(prep->txn).c_str());
+          prepare_log_index_[prep->txn].push_back({v->id(), id});
+          for (const IntentionsList& il : prep->intentions) {
+            for (PageId page : FileStore::PagesNamedBy(il)) {
+              live.push_back(page);
+            }
+            // Re-acquire the transaction's locks from the logged lock-list
+            // information (section 4.2: the prepare log stores "enough of
+            // the intentions lists and lock lists ... to guarantee that the
+            // files can be committed"). Without this, a new transaction
+            // could read the pre-commit value of a committed record while
+            // its redo install is still in flight — a lost update. The
+            // locks release when the transaction resolves.
+            LockOwner owner{kNoPid, prep->txn};
+            for (const ByteRange& range : il.ranges) {
+              locks_.Request(il.file, range, owner, LockMode::kExclusive,
+                             /*non_transaction=*/false, /*wait=*/false,
+                             [](bool granted, ByteRange) { (void)granted; });
+            }
+          }
+        }
+      }
+      v->RecoverAllocation(live);
+    }
+    // Volatile indexes are rebuilt: service can resume.
+    alive_ = true;
+    // Coordinator-side recovery: every retained coordinator log is replayed —
+    // committed transactions re-enter phase two, others are aborted.
+    std::vector<std::pair<uint64_t, CoordinatorLogRecord>> coords;
+    for (const auto& [id, rec] : volumes_[0]->stable_log()) {
+      if (const auto* c = std::any_cast<CoordinatorLogRecord>(&rec.payload)) {
+        coords.push_back({id, *c});
+      }
+    }
+    for (auto& [log_id, coord] : coords) {
+      coordinator_log_index_[coord.txn] = log_id;
+      std::vector<SiteId> participants;
+      for (const UsedFile& f : coord.files) {
+        if (std::find(participants.begin(), participants.end(), f.storage_site) ==
+            participants.end()) {
+          participants.push_back(f.storage_site);
+        }
+      }
+      if (coord.status == TxnStatus::kCommitted) {
+        Trace("recovery: re-driving commit of %s", ToString(coord.txn).c_str());
+        SpawnPhaseTwo(coord.txn, participants, log_id);
+      } else {
+        Trace("recovery: aborting %s", ToString(coord.txn).c_str());
+        for (SiteId s : participants) {
+          if (IsLocal(s)) {
+            ServeAbortTxnAtSite(coord.txn);
+          } else {
+            net().Call(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{coord.txn}));
+          }
+        }
+        volumes_[0]->EraseLog(log_id);
+        coordinator_log_index_.erase(coord.txn);
+      }
+    }
+    // Participant-side recovery for prepared transactions whose coordinator
+    // is elsewhere: ask for the outcome (presumed abort when the coordinator
+    // has no log).
+    std::vector<std::pair<TxnId, SiteId>> ask;
+    for (const auto& [txn, records] : prepare_log_index_) {
+      if (!records.empty()) {
+        auto log_it = FindVolume(records[0].first)->stable_log().find(records[0].second);
+        if (log_it != FindVolume(records[0].first)->stable_log().end()) {
+          const auto* prep = std::any_cast<PrepareLogRecord>(&log_it->second.payload);
+          if (prep != nullptr && prep->coordinator != site_) {
+            ask.push_back({txn, prep->coordinator});
+          }
+        }
+      }
+    }
+    for (const auto& [txn, coordinator] : ask) {
+      if (!net().Reachable(site_, coordinator)) {
+        continue;  // Blocked: wait for the coordinator (or a later message).
+      }
+      RpcResult res =
+          net().Call(site_, coordinator, MakeMsg(kTxnStatusReq, TxnStatusRequest{txn}));
+      if (!res.ok) {
+        continue;
+      }
+      auto status = static_cast<TxnStatus>(res.reply.As<TxnStatusReply>().status);
+      if (status == TxnStatus::kCommitted) {
+        ServeCommitTxn(txn);
+      } else if (status == TxnStatus::kAborted) {
+        ServeAbortTxnAtSite(txn);
+      }
+      // kUnknown: outcome pending; the coordinator will tell us.
+    }
+    stats().Add("recovery.completed");
+  });
+}
+
+}  // namespace locus

@@ -1,0 +1,204 @@
+// Kernel-to-kernel message types and payloads (the "lightweight network
+// protocols" of the paper).
+
+#ifndef SRC_LOCUS_MESSAGES_H_
+#define SRC_LOCUS_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/fs/intentions.h"
+#include "src/lock/lock_list.h"
+#include "src/lock/lock_manager.h"
+#include "src/locus/errors.h"
+#include "src/net/network.h"
+#include "src/proc/process.h"
+#include "src/storage/volume.h"
+
+namespace locus {
+
+enum MsgType : int32_t {
+  kOpenReq = 1,
+  kReadReq,
+  kWriteReq,
+  kLockReq,
+  kUnlockReq,
+  kCommitFileReq,
+  kReleaseProcessReq,
+  // Two-phase commit (section 4.2).
+  kPrepareReq,
+  kCommitTxnReq,
+  kAbortTxnAtSiteReq,
+  // Transaction control plane.
+  kMemberJoinReq,
+  kMergeFileListReq,
+  kAbortTxnRouteReq,
+  kKillProcessReq,
+  // Replication (section 5.2).
+  kReplicaPropagate,
+  // Deadlock detector support (section 3.1).
+  kWaitEdgesReq,
+  // Remote file lifecycle.
+  kCreateFileReq,
+  kRemoveFileReq,
+  // Participant recovery: ask the coordinator for a transaction's outcome
+  // (presumed abort when no coordinator log exists).
+  kTxnStatusReq,
+  // Hint to a (possibly former) primary update site that the last update
+  // open closed, so it may release the primary designation once idle.
+  kReleasePrimaryReq,
+  // Immediate durable truncation at the storage site.
+  kTruncateReq,
+};
+
+struct OpenRequest {
+  FileId file;
+};
+struct OpenReply {
+  Err err = Err::kOk;
+  int64_t size = 0;
+};
+
+struct ReadRequest {
+  FileId file;
+  ByteRange range;
+  LockOwner owner;
+};
+struct ReadReply {
+  Err err = Err::kOk;
+  std::vector<uint8_t> bytes;
+};
+
+struct WriteRequest {
+  FileId file;
+  int64_t offset = 0;
+  std::vector<uint8_t> bytes;
+  LockOwner owner;
+};
+struct WriteReply {
+  Err err = Err::kOk;
+  int64_t new_size = 0;
+};
+
+struct LockRequest {
+  FileId file;
+  ByteRange range;      // For append-mode requests, range.start is ignored.
+  LockOwner owner;
+  LockMode mode = LockMode::kShared;
+  bool non_transaction = false;
+  bool wait = true;
+  bool append = false;  // Lock-and-extend: range computed at end of file.
+};
+struct LockReply {
+  Err err = Err::kOk;
+  ByteRange granted;    // Actual range (meaningful for append-mode).
+};
+
+struct UnlockRequest {
+  FileId file;
+  ByteRange range;
+  LockOwner owner;
+};
+
+struct CommitFileRequest {
+  FileId file;
+  LockOwner owner;
+};
+
+struct ReleaseProcessRequest {
+  Pid pid;
+};
+
+struct PrepareRequest {
+  TxnId txn;
+  SiteId coordinator = kNoSite;
+  std::vector<FileId> files;
+};
+struct PrepareReply {
+  Err err = Err::kOk;
+};
+
+struct CommitTxnRequest {
+  TxnId txn;
+};
+struct AbortTxnAtSiteRequest {
+  TxnId txn;
+};
+
+struct MemberJoinRequest {
+  TxnId txn;
+  Pid member = kNoPid;
+  SiteId member_site = kNoSite;
+};
+struct MemberJoinReply {
+  Err err = Err::kOk;     // kBusy if the top-level process is in transit.
+  SiteId forward = kNoSite;  // Better site to retry at.
+};
+
+struct MergeFileListRequest {
+  TxnId txn;
+  Pid exiting_member = kNoPid;
+  std::vector<UsedFile> files;
+};
+struct MergeFileListReply {
+  Err err = Err::kOk;     // kBusy if in transit: retry (section 4.1 race).
+  SiteId forward = kNoSite;
+};
+
+struct AbortTxnRouteRequest {
+  TxnId txn;
+  std::string reason;
+};
+struct AbortTxnRouteReply {
+  Err err = Err::kOk;
+  SiteId forward = kNoSite;
+};
+
+struct KillProcessRequest {
+  Pid pid;
+  TxnId txn;  // Kill only if still a member of this transaction.
+};
+
+struct ReplicaPropagateMsg {
+  FileId replica_file;  // The inode on the receiving site's volume.
+  int64_t new_size = 0;
+  std::vector<std::pair<int32_t, std::vector<uint8_t>>> pages;  // slot -> bytes
+};
+
+struct WaitEdgesReply {
+  std::vector<WaitEdge> edges;
+};
+
+struct CreateFileRequest {
+  VolumeId volume = kNoVolume;  // kNoVolume = the site's root volume.
+};
+struct CreateFileReply {
+  Err err = Err::kOk;
+  FileId file;
+};
+
+struct RemoveFileRequest {
+  FileId file;
+};
+
+struct ReleasePrimaryRequest {
+  FileId file;
+};
+
+struct TruncateRequest {
+  FileId file;
+  int64_t size = 0;
+};
+
+struct TxnStatusRequest {
+  TxnId txn;
+};
+struct TxnStatusReply {
+  int status = 0;  // Cast of TxnStatus; kAborted when no log exists.
+};
+
+}  // namespace locus
+
+#endif  // SRC_LOCUS_MESSAGES_H_

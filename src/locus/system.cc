@@ -1,0 +1,204 @@
+#include "src/locus/system.h"
+
+#include <cassert>
+
+#include "src/lock/deadlock.h"
+
+namespace locus {
+
+namespace {
+template <typename T>
+Message MakeMsg(MsgType type, T payload, int32_t size_bytes = 96) {
+  Message m;
+  m.type = type;
+  m.size_bytes = size_bytes;
+  m.payload = std::move(payload);
+  return m;
+}
+}  // namespace
+
+System::System(int num_sites, SystemOptions options)
+    : options_(options), sim_(options.seed), net_(&sim_, &trace_) {
+  trace_.set_enabled(true);
+  for (int i = 0; i < num_sites; ++i) {
+    SiteId site = net_.AddSite("site" + std::to_string(i));
+    auto kernel = std::make_unique<Kernel>(this, site);
+    kernels_.push_back(std::move(kernel));
+    AddVolume(site);  // Root volume.
+    kernels_[site]->Start();
+  }
+}
+
+System::~System() { StopDaemons(); }
+
+VolumeId System::AddVolume(SiteId site) {
+  VolumeId id = AllocVolumeId();
+  std::string name = "d" + std::to_string(site) + "v" + std::to_string(id);
+  auto disk = std::make_unique<Disk>(&sim_, &stats_, name, options_.pages_per_volume,
+                                     options_.page_size, options_.disk_latency);
+  auto volume = std::make_unique<Volume>(id, name, std::move(disk));
+  if (options_.double_write_logs) {
+    volume->set_log_append_mode(Volume::LogAppendMode::kDoubleWrite);
+  }
+  kernels_[site]->AttachVolume(std::move(volume));
+  return id;
+}
+
+Pid System::Spawn(SiteId site, const std::string& name,
+                  std::function<void(Syscalls&)> body) {
+  return kernels_[site]->StartProcess(name, [this, body = std::move(body)](OsProcess* p) {
+    Syscalls sys(this, p);
+    body(sys);
+  });
+}
+
+void System::CrashSite(SiteId site) {
+  net_.Crash(site);
+  kernels_[site]->OnCrash();
+}
+
+void System::RebootSite(SiteId site) {
+  net_.Reboot(site);
+  kernels_[site]->OnReboot();
+}
+
+void System::Partition(const std::vector<std::vector<SiteId>>& groups) {
+  net_.SetPartitions(groups);
+}
+
+void System::HealPartitions() { net_.ClearPartitions(); }
+
+Pid System::AllocPid(SiteId site) {
+  (void)site;
+  return next_pid_++;
+}
+
+OsProcess* System::Locate(Pid pid) {
+  if (pid == kNoPid) {
+    return nullptr;
+  }
+  for (auto& kernel : kernels_) {
+    if (!kernel->alive()) {
+      continue;
+    }
+    if (OsProcess* p = kernel->process_table().Find(pid)) {
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+void System::StartDeadlockDetector(SiteId site, SimTime period) {
+  daemons_running_ = true;
+  Kernel* kernel = kernels_[site].get();
+  kernel->SpawnKernelProcess("deadlock-detector", [this, site, kernel, period] {
+    while (daemons_running_ && net_.IsAlive(site)) {
+      WaitForGraph graph;
+      // Edges per reporting site, for the orphan-lock reaper below.
+      std::vector<std::pair<SiteId, WaitEdge>> sited_edges;
+      for (SiteId s = 0; s < site_count(); ++s) {
+        std::vector<WaitEdge> edges;
+        if (s == site) {
+          edges = kernel->LocalWaitEdges();
+        } else if (net_.Reachable(site, s)) {
+          RpcResult res = net_.Call(site, s, MakeMsg(kWaitEdgesReq, 0));
+          if (res.ok) {
+            edges = res.reply.As<WaitEdgesReply>().edges;
+          }
+        }
+        graph.AddEdges(edges);
+        for (const WaitEdge& e : edges) {
+          sited_edges.push_back({s, e});
+        }
+      }
+      for (const LockOwner& victim : graph.SelectVictims()) {
+        if (victim.txn.valid()) {
+          stats_.Add("deadlock.victims");
+          trace_.Log(sim_.Now(), "detector", "aborting deadlock victim %s",
+                     ToString(victim.txn).c_str());
+          kernel->RouteAbort(victim.txn, "deadlock victim");
+        }
+      }
+      // Orphan-lock reaper: a waiter blocked by a transaction that no longer
+      // exists anywhere (aborted; its lock entry leaked through a
+      // kill/grant race) gets unwedged by clearing the dead transaction's
+      // residue at the blocking site. This is one of the "deadlock
+      // resolution and redo strategies" section 3.1 leaves to system
+      // processes.
+      for (const auto& [s, edge] : sited_edges) {
+        const TxnId& holder = edge.holder.txn;
+        if (!holder.valid() || !net_.Reachable(site, holder.site)) {
+          continue;
+        }
+        RpcResult res =
+            net_.Call(site, holder.site, MakeMsg(kTxnStatusReq, TxnStatusRequest{holder}));
+        if (!res.ok) {
+          continue;
+        }
+        auto status = static_cast<TxnStatus>(res.reply.As<TxnStatusReply>().status);
+        if (status == TxnStatus::kAborted) {
+          stats_.Add("deadlock.orphan_locks_reaped");
+          trace_.Log(sim_.Now(), "detector", "reaping orphan locks of %s at site %d",
+                     ToString(holder).c_str(), s);
+          net_.Send(site, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{holder}));
+        }
+      }
+      sim_.Sleep(period);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Syscalls facade
+
+Err Syscalls::Mkdir(const std::string& path) { return kernel().SysMkdir(process_, path); }
+Err Syscalls::Creat(const std::string& path, int replication) {
+  return kernel().SysCreat(process_, path, replication);
+}
+Err Syscalls::Unlink(const std::string& path) { return kernel().SysUnlink(process_, path); }
+
+Result<int> Syscalls::Open(const std::string& path, OpenFlags flags) {
+  return kernel().SysOpen(process_, path, flags);
+}
+Err Syscalls::Close(int fd) { return kernel().SysClose(process_, fd); }
+Result<std::vector<uint8_t>> Syscalls::Read(int fd, int64_t length) {
+  return kernel().SysRead(process_, fd, length);
+}
+Err Syscalls::Write(int fd, const std::vector<uint8_t>& bytes) {
+  return kernel().SysWrite(process_, fd, bytes);
+}
+Err Syscalls::WriteString(int fd, const std::string& text) {
+  return Write(fd, std::vector<uint8_t>(text.begin(), text.end()));
+}
+Result<int64_t> Syscalls::Seek(int fd, int64_t offset) {
+  return kernel().SysSeek(process_, fd, offset);
+}
+Result<int64_t> Syscalls::FileSize(int fd) { return kernel().SysFileSize(process_, fd); }
+Result<ByteRange> Syscalls::Lock(int fd, int64_t length, LockOp op, LockFlags flags) {
+  return kernel().SysLock(process_, fd, length, op, flags);
+}
+Err Syscalls::CommitFile(int fd) { return kernel().SysCommitFile(process_, fd); }
+Err Syscalls::Truncate(int fd, int64_t size) {
+  return kernel().SysTruncate(process_, fd, size);
+}
+Result<std::vector<std::string>> Syscalls::ReadDir(const std::string& path) {
+  return kernel().SysReadDir(process_, path);
+}
+
+Err Syscalls::BeginTrans() { return kernel().SysBeginTrans(process_); }
+Err Syscalls::EndTrans() { return kernel().SysEndTrans(process_); }
+Err Syscalls::AbortTrans() { return kernel().SysAbortTrans(process_); }
+
+Result<Pid> Syscalls::Fork(SiteId site, std::function<void(Syscalls&)> body) {
+  System* system = system_;
+  return kernel().SysFork(process_, site, [system, body = std::move(body)](OsProcess* p) {
+    Syscalls sys(system, p);
+    body(sys);
+  });
+}
+void Syscalls::WaitChildren() { kernel().SysWaitChildren(process_); }
+Err Syscalls::Migrate(SiteId to) { return kernel().SysMigrate(process_, to); }
+
+void Syscalls::Compute(SimTime duration) { system_->sim().Sleep(duration); }
+
+}  // namespace locus

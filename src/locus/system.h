@@ -1,0 +1,161 @@
+// System: builds and operates a simulated Locus cluster — sites with kernels
+// and volumes, the shared catalog, fault injection, and process bootstrap.
+// This is the top-level entry point of the library; see examples/.
+
+#ifndef SRC_LOCUS_SYSTEM_H_
+#define SRC_LOCUS_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/catalog.h"
+#include "src/locus/kernel.h"
+#include "src/net/network.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+#include "src/storage/volume.h"
+
+namespace locus {
+
+class Syscalls;
+
+struct SystemOptions {
+  uint64_t seed = 1;
+  int32_t page_size = 1024;        // The paper's measurements used 1 KB pages.
+  int32_t pages_per_volume = 8192;
+  int32_t pool_pages = 256;        // Buffer pool capacity per site.
+  // Fidelity switches for the 1985 implementation's known inefficiencies
+  // (footnotes 9 and 10), used by the Figure 5 experiment.
+  bool double_write_logs = false;  // Two writes per log append.
+  bool prepare_log_per_file = false;  // One prepare record per file, not per volume.
+  // Section 5.2 optimization: prefetch the pages covering a locked byte
+  // range into the buffer pool when the lock is granted.
+  bool lock_prefetch = false;
+  // Ablation switch: disable the requester-side lock cache of section 5.1
+  // (every access then re-validates at the storage site).
+  bool disable_lock_cache = false;
+  SimTime disk_latency = Disk::kDefaultAccessLatency;
+};
+
+class System {
+ public:
+  explicit System(int num_sites, SystemOptions options = {});
+  ~System();
+
+  Simulation& sim() { return sim_; }
+  Network& net() { return net_; }
+  Catalog& catalog() { return catalog_; }
+  StatRegistry& stats() { return stats_; }
+  TraceLog& trace() { return trace_; }
+  Kernel& kernel(SiteId site) { return *kernels_[site]; }
+  int site_count() const { return static_cast<int>(kernels_.size()); }
+  const SystemOptions& options() const { return options_; }
+
+  // Adds another volume at `site` (multi-volume experiments). Returns its id.
+  VolumeId AddVolume(SiteId site);
+
+  // Starts a user program at `site`; the body runs in a fresh process with
+  // blocking Unix-style syscalls. Returns its pid.
+  Pid Spawn(SiteId site, const std::string& name, std::function<void(Syscalls&)> body);
+
+  // --- Fault injection ---
+  void CrashSite(SiteId site);
+  void RebootSite(SiteId site);
+  void Partition(const std::vector<std::vector<SiteId>>& groups);
+  void HealPartitions();
+
+  // --- Simulation control ---
+  // Runs until the cluster quiesces (no pending events).
+  void Run() { sim_.Run(); }
+  void RunFor(SimTime duration) { sim_.RunFor(duration); }
+
+  // Starts the user-level deadlock detection daemon (section 3.1) at `site`,
+  // polling every `period`. It runs until StopDaemons().
+  void StartDeadlockDetector(SiteId site, SimTime period);
+  void StopDaemons() { daemons_running_ = false; }
+  bool daemons_running() const { return daemons_running_; }
+
+  // --- Cross-site registry helpers used by the kernels ---
+  Pid AllocPid(SiteId site);
+  VolumeId AllocVolumeId() { return next_volume_id_++; }
+  // Finds a process anywhere in the cluster (stands in for the low-level
+  // process-location protocol).
+  OsProcess* Locate(Pid pid);
+
+ private:
+  SystemOptions options_;
+  Simulation sim_;
+  TraceLog trace_;
+  StatRegistry stats_;
+  Network net_;
+  Catalog catalog_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  VolumeId next_volume_id_ = 0;
+  Pid next_pid_ = 100;
+  bool daemons_running_ = true;
+};
+
+// The process-facing API: Unix-style blocking syscalls plus the paper's
+// transaction and locking calls. Bound to one process; follows the process
+// as it migrates between sites.
+class Syscalls {
+ public:
+  Syscalls(System* system, OsProcess* process) : system_(system), process_(process) {}
+
+  // --- Namespace ---
+  Err Mkdir(const std::string& path);
+  // Creates a file with `replication` replicas on distinct sites, the first
+  // at the caller's site.
+  Err Creat(const std::string& path, int replication = 1);
+  Err Unlink(const std::string& path);
+
+  // --- Files ---
+  Result<int> Open(const std::string& path, OpenFlags flags = {});
+  Err Close(int fd);
+  Result<std::vector<uint8_t>> Read(int fd, int64_t length);
+  Err Write(int fd, const std::vector<uint8_t>& bytes);
+  Err WriteString(int fd, const std::string& text);
+  Result<int64_t> Seek(int fd, int64_t offset);
+  Result<int64_t> FileSize(int fd);
+  // Section 3.2: Lock(file, length, mode) from the current offset; in append
+  // mode the range is allocated at end-of-file atomically.
+  Result<ByteRange> Lock(int fd, int64_t length, LockOp op, LockFlags flags = {});
+  // Single-file commit of this process's non-transaction modifications.
+  Err CommitFile(int fd);
+  // Durable truncation (non-transactional; fails with kBusy while any
+  // uncommitted records exist on the file).
+  Err Truncate(int fd, int64_t size);
+  // Names of the direct children of a directory.
+  Result<std::vector<std::string>> ReadDir(const std::string& path);
+
+  // --- Transactions (section 2) ---
+  Err BeginTrans();
+  Err EndTrans();
+  Err AbortTrans();
+  bool InTransaction() const { return process_->txn.valid(); }
+  TxnId CurrentTxn() const { return process_->txn; }
+
+  // --- Processes ---
+  Result<Pid> Fork(SiteId site, std::function<void(Syscalls&)> body);
+  void WaitChildren();
+  Err Migrate(SiteId to);
+
+  SiteId CurrentSite() const { return process_->site; }
+  Pid pid() const { return process_->pid; }
+  System& system() { return *system_; }
+  // Advances this process's virtual time (models computation between calls).
+  void Compute(SimTime duration);
+
+ private:
+  Kernel& kernel() { return system_->kernel(process_->site); }
+
+  System* system_;
+  OsProcess* process_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_LOCUS_SYSTEM_H_

@@ -1,0 +1,202 @@
+#include "src/net/network.h"
+
+#include <cassert>
+
+namespace locus {
+
+void Responder::operator()(Message reply) const {
+  if (net_ == nullptr) {
+    return;
+  }
+  auto it = net_->pending_calls_.find(call_id_);
+  if (it == net_->pending_calls_.end()) {
+    return;  // Call already completed (timeout or failure) — drop the reply.
+  }
+  Network::PendingCall& call = it->second;
+  // The reply travels back over the wire from the responder's site.
+  if (!net_->Reachable(site_, call.from)) {
+    return;  // Reply lost; the caller's timeout / failure detection fires.
+  }
+  net_->stats().Add("net.messages");
+  Network* net = net_;
+  uint64_t id = call_id_;
+  net->sim_->Schedule(net->OneWayLatency(reply.size_bytes), [net, id, reply = std::move(reply)] {
+    net->CompleteCall(id, RpcResult{true, reply});
+  });
+}
+
+Network::Network(Simulation* sim, TraceLog* trace) : sim_(sim), trace_(trace) {}
+
+SiteId Network::AddSite(const std::string& name) {
+  SiteId id = static_cast<SiteId>(sites_.size());
+  Site site;
+  site.name = name;
+  site.partition_group = 0;
+  sites_.push_back(std::move(site));
+  return id;
+}
+
+void Network::RegisterHandler(SiteId site, int32_t type, Handler handler) {
+  sites_[site].handlers[type] = std::move(handler);
+}
+
+SimTime Network::OneWayLatency(int32_t size_bytes) const {
+  return kPerMessageLatency + Microseconds(size_bytes * kWireNsPerByte / 1000);
+}
+
+bool Network::Reachable(SiteId a, SiteId b) const {
+  if (a == b) {
+    return sites_[a].alive;
+  }
+  return sites_[a].alive && sites_[b].alive &&
+         sites_[a].partition_group == sites_[b].partition_group;
+}
+
+void Network::Send(SiteId from, SiteId to, Message msg) {
+  if (!sites_[from].alive) {
+    return;
+  }
+  stats_.Add("net.messages");
+  sim_->Schedule(OneWayLatency(msg.size_bytes),
+                 [this, from, to, msg = std::move(msg)]() mutable {
+                   Deliver(from, to, std::move(msg), Responder());
+                 });
+}
+
+RpcResult Network::Call(SiteId from, SiteId to, Message request, SimTime timeout) {
+  SimProcess* self = Simulation::Current();
+  assert(self != nullptr && "Network::Call requires process context");
+  if (!Reachable(from, to)) {
+    return RpcResult{false, {}};
+  }
+
+  uint64_t id = next_call_id_++;
+  PendingCall& call = pending_calls_[id];
+  call.from = from;
+  call.to = to;
+  call.caller = self;
+  call.wake = std::make_unique<WaitQueue>(sim_);
+
+  stats_.Add("net.messages");
+  Responder responder(this, id, to);
+  sim_->Schedule(OneWayLatency(request.size_bytes),
+                 [this, from, to, responder, request = std::move(request)]() mutable {
+                   Deliver(from, to, std::move(request), responder);
+                 });
+  sim_->Schedule(timeout, [this, id] {
+    CompleteCall(id, RpcResult{false, {}});
+  });
+
+  call.wake->Wait();
+  auto it = pending_calls_.find(id);
+  assert(it != pending_calls_.end() && it->second.done);
+  RpcResult result = std::move(it->second.result);
+  pending_calls_.erase(it);
+  return result;
+}
+
+void Network::Deliver(SiteId from, SiteId to, Message msg, Responder responder) {
+  if (!Reachable(from, to)) {
+    stats_.Add("net.dropped");
+    return;
+  }
+  Site& dest = sites_[to];
+  auto it = dest.handlers.find(msg.type);
+  if (it == dest.handlers.end()) {
+    stats_.Add("net.unhandled");
+    trace_->Log(sim_->Now(), dest.name, "unhandled message type %d from %s", msg.type,
+                sites_[from].name.c_str());
+    return;
+  }
+  it->second(from, msg, responder);
+}
+
+void Network::CompleteCall(uint64_t call_id, RpcResult result) {
+  auto it = pending_calls_.find(call_id);
+  if (it == pending_calls_.end() || it->second.done) {
+    return;
+  }
+  PendingCall& call = it->second;
+  call.done = true;
+  call.result = std::move(result);
+  call.wake->NotifyAll();
+}
+
+void Network::Crash(SiteId site) {
+  if (!sites_[site].alive) {
+    return;
+  }
+  sites_[site].alive = false;
+  trace_->Log(sim_->Now(), sites_[site].name, "site crashed");
+  NotifyTopologyChanged();
+}
+
+void Network::Reboot(SiteId site) {
+  if (sites_[site].alive) {
+    return;
+  }
+  sites_[site].alive = true;
+  sites_[site].boot_epoch++;
+  trace_->Log(sim_->Now(), sites_[site].name, "site rebooted (epoch %llu)",
+              static_cast<unsigned long long>(sites_[site].boot_epoch));
+  NotifyTopologyChanged();
+}
+
+void Network::SetPartitions(const std::vector<std::vector<SiteId>>& groups) {
+  // Unlisted sites land in their own singleton partitions after the listed
+  // groups, so group numbering starts above the largest possible group index.
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    sites_[i].partition_group = static_cast<int>(groups.size() + 1 + i);
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (SiteId s : groups[g]) {
+      sites_[s].partition_group = static_cast<int>(g);
+    }
+  }
+  trace_->Log(sim_->Now(), "net", "network partitioned into %zu+ groups", groups.size());
+  NotifyTopologyChanged();
+}
+
+void Network::ClearPartitions() {
+  for (Site& s : sites_) {
+    s.partition_group = 0;
+  }
+  trace_->Log(sim_->Now(), "net", "network partitions healed");
+  NotifyTopologyChanged();
+}
+
+void Network::NotifyTopologyChanged() {
+  FailUnreachableCalls();
+  // Topology knowledge propagates via the (unmodelled) low-level topology
+  // protocol; surviving sites learn of the change after a detection delay.
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    SiteId id = static_cast<SiteId>(i);
+    sim_->Schedule(kFailureDetectDelay, [this, id] {
+      if (!sites_[id].alive) {
+        return;
+      }
+      for (const auto& cb : sites_[id].topology_callbacks) {
+        cb();
+      }
+    });
+  }
+}
+
+void Network::FailUnreachableCalls() {
+  std::vector<uint64_t> failed;
+  for (const auto& [id, call] : pending_calls_) {
+    if (!call.done && !Reachable(call.from, call.to)) {
+      failed.push_back(id);
+    }
+  }
+  for (uint64_t id : failed) {
+    sim_->Schedule(kFailureDetectDelay,
+                   [this, id] { CompleteCall(id, RpcResult{false, {}}); });
+  }
+}
+
+void Network::OnTopologyChange(SiteId site, std::function<void()> callback) {
+  sites_[site].topology_callbacks.push_back(std::move(callback));
+}
+
+}  // namespace locus

@@ -1,0 +1,166 @@
+// Simulated local-area network connecting the sites of the cluster.
+//
+// Models the paper's environment: VAX 11/750 machines on a 10 Mb/s Ethernet
+// exchanging lightweight kernel-to-kernel protocol messages. One-way message
+// latency is dominated by protocol processing on the ~0.45 MIPS CPUs and is
+// calibrated so that a small-message round trip costs about 16 ms, which puts
+// a remote lock at about 18 ms as measured in section 6.2 of the paper.
+//
+// The network also implements the failure model of section 4.3/4.4: sites can
+// crash and reboot, the network can partition, and surviving sites receive
+// topology-change notifications which the transaction mechanism uses to abort
+// transactions that span lost sites.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace locus {
+
+using SiteId = int32_t;
+inline constexpr SiteId kNoSite = -1;
+
+// A network message. Payloads are typed structs carried through std::any;
+// size_bytes models the wire footprint for latency purposes.
+struct Message {
+  int32_t type = 0;
+  int32_t size_bytes = 64;
+  std::any payload;
+
+  template <typename T>
+  const T& As() const {
+    return *std::any_cast<T>(&payload);
+  }
+};
+
+class Network;
+
+// Handle for replying to an RPC. Copyable; may be stored and invoked later
+// (e.g. a lock request queued until the lock is granted replies only when the
+// conflicting lock is released).
+class Responder {
+ public:
+  Responder() = default;
+  Responder(Network* net, uint64_t call_id, SiteId responder_site)
+      : net_(net), call_id_(call_id), site_(responder_site) {}
+
+  // Sends the reply back to the caller. At most one reply per call is
+  // delivered; extras are ignored (duplicate grant after an abort race).
+  void operator()(Message reply) const;
+
+  bool valid() const { return net_ != nullptr; }
+
+ private:
+  Network* net_ = nullptr;
+  uint64_t call_id_ = 0;
+  SiteId site_ = kNoSite;
+};
+
+struct RpcResult {
+  bool ok = false;
+  Message reply;
+};
+
+class Network {
+ public:
+  // Calibration constants (see file comment).
+  static constexpr SimTime kPerMessageLatency = Microseconds(7200);
+  static constexpr int64_t kWireNsPerByte = 800;  // 10 Mb/s
+  static constexpr SimTime kFailureDetectDelay = Milliseconds(40);
+  static constexpr SimTime kDefaultRpcTimeout = Seconds(5);
+
+  Network(Simulation* sim, TraceLog* trace);
+
+  SiteId AddSite(const std::string& name);
+  int site_count() const { return static_cast<int>(sites_.size()); }
+  const std::string& SiteName(SiteId site) const { return sites_[site].name; }
+
+  // Handler for one message type at one site; runs in event context when the
+  // message is delivered. Must not block; blocking work is handed to a kernel
+  // process by the receiver.
+  using Handler = std::function<void(SiteId from, const Message&, Responder)>;
+  void RegisterHandler(SiteId site, int32_t type, Handler handler);
+
+  // One-way datagram. Silently dropped if the destination is unreachable at
+  // delivery time.
+  void Send(SiteId from, SiteId to, Message msg);
+
+  // Blocking remote procedure call; must run in process context. Fails if the
+  // destination is unreachable, becomes unreachable while the call is
+  // outstanding, or the reply does not arrive within `timeout`.
+  RpcResult Call(SiteId from, SiteId to, Message request,
+                 SimTime timeout = kDefaultRpcTimeout);
+
+  // --- Failure injection & topology ---
+  bool IsAlive(SiteId site) const { return sites_[site].alive; }
+  // Increments on each reboot; feeds transaction-id temporal uniqueness.
+  uint32_t BootEpoch(SiteId site) const { return static_cast<uint32_t>(sites_[site].boot_epoch); }
+  bool Reachable(SiteId a, SiteId b) const;
+  void Crash(SiteId site);
+  void Reboot(SiteId site);
+  // Splits the network; each inner vector is one partition. Sites not listed
+  // become singleton partitions.
+  void SetPartitions(const std::vector<std::vector<SiteId>>& groups);
+  void ClearPartitions();
+
+  // Callback invoked at `site` (event context) whenever the reachable-site
+  // set changes while `site` is alive.
+  void OnTopologyChange(SiteId site, std::function<void()> callback);
+
+  SimTime OneWayLatency(int32_t size_bytes) const;
+
+  StatRegistry& stats() { return stats_; }
+  Simulation& simulation() { return *sim_; }
+  TraceLog& trace() { return *trace_; }
+
+ private:
+  friend class Responder;
+
+  struct Site {
+    std::string name;
+    bool alive = true;
+    int partition_group = 0;
+    uint64_t boot_epoch = 0;
+    std::map<int32_t, Handler> handlers;
+    std::vector<std::function<void()>> topology_callbacks;
+  };
+
+  struct PendingCall {
+    SiteId from;
+    SiteId to;
+    SimProcess* caller;
+    std::unique_ptr<WaitQueue> wake;
+    bool done = false;
+    RpcResult result;
+  };
+
+  void Deliver(SiteId from, SiteId to, Message msg, Responder responder);
+  void CompleteCall(uint64_t call_id, RpcResult result);
+  void NotifyTopologyChanged();
+  // Fails outstanding calls whose endpoints can no longer communicate.
+  void FailUnreachableCalls();
+
+  Simulation* sim_;
+  TraceLog* trace_;
+  StatRegistry stats_;
+  std::vector<Site> sites_;
+  uint64_t next_call_id_ = 1;
+  std::map<uint64_t, PendingCall> pending_calls_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_NET_NETWORK_H_

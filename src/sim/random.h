@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Simulation runs must be reproducible bit-for-bit given a seed, so all
+// randomness flows through one seeded generator owned by the Simulation.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace locus {
+
+// SplitMix64-based generator: tiny, fast, and good enough for workload
+// shaping (not cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_SIM_RANDOM_H_

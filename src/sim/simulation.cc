@@ -1,0 +1,243 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace locus {
+
+namespace {
+thread_local SimProcess* g_current_process = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimProcess
+
+SimProcess::SimProcess(Simulation* sim, uint64_t id, std::string name,
+                       std::function<void()> body)
+    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] {
+    g_current_process = this;
+    AwaitGrant();
+    if (!cancelled_) {
+      try {
+        body_();
+      } catch (const SimCancelled&) {
+        // Teardown unwound the body; nothing more to do.
+      }
+    }
+    state_ = State::kFinished;
+    std::unique_lock<std::mutex> lock(mu_);
+    thread_done_ = true;
+    parked_ = true;
+    cv_.notify_all();
+  });
+}
+
+SimProcess::~SimProcess() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!thread_done_) {
+      // The process never finished (still blocked at teardown): grant it
+      // control one last time with the cancel flag set so the body unwinds.
+      cancelled_ = true;
+      has_control_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void SimProcess::AwaitGrant() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return has_control_; });
+  if (cancelled_) {
+    // We are being torn down. If the body is already on the stack, unwind it;
+    // if this is the initial grant, the thread function checks cancelled_.
+    if (state_ != State::kReady) {
+      lock.unlock();
+      throw SimCancelled{};
+    }
+  }
+  state_ = State::kRunning;
+}
+
+void SimProcess::YieldToScheduler() {
+  std::unique_lock<std::mutex> lock(mu_);
+  has_control_ = false;
+  parked_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return has_control_; });
+  if (cancelled_) {
+    lock.unlock();
+    throw SimCancelled{};
+  }
+  state_ = State::kRunning;
+}
+
+void SimProcess::RunUntilParked() {
+  std::unique_lock<std::mutex> lock(mu_);
+  parked_ = false;
+  has_control_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return parked_; });
+}
+
+// ---------------------------------------------------------------------------
+// WaitQueue
+
+void WaitQueue::Wait() {
+  SimProcess* self = Simulation::Current();
+  assert(self != nullptr && "WaitQueue::Wait requires process context");
+  if (self->cancelled_) {
+    // Teardown is unwinding this process; blocking again would never return.
+    return;
+  }
+  waiters_.push_back(self);
+  self->state_ = SimProcess::State::kBlocked;
+  self->YieldToScheduler();
+}
+
+void WaitQueue::NotifyOne() {
+  if (waiters_.empty()) {
+    return;
+  }
+  SimProcess* p = waiters_.front();
+  waiters_.pop_front();
+  sim_->MakeReady(p);
+}
+
+void WaitQueue::NotifyAll() {
+  while (!waiters_.empty()) {
+    NotifyOne();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() {
+  // Destroy processes before anything else so their threads unwind while the
+  // simulation object is still alive.
+  processes_.clear();
+}
+
+void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimProcess* Simulation::Spawn(std::string name, std::function<void()> body) {
+  auto proc = std::unique_ptr<SimProcess>(
+      new SimProcess(this, next_pid_++, std::move(name), std::move(body)));
+  SimProcess* raw = proc.get();
+  processes_.push_back(std::move(proc));
+  MakeReady(raw);
+  return raw;
+}
+
+void Simulation::Kill(SimProcess* p) {
+  if (p->state_ == SimProcess::State::kFinished) {
+    return;
+  }
+  p->cancelled_ = true;
+  if (p == Current()) {
+    // Self-kill (e.g. a process whose action crashes its own site): the body
+    // unwinds at its next blocking point.
+    return;
+  }
+  MakeReady(p);
+}
+
+void Simulation::MakeReady(SimProcess* p) {
+  if (p->state_ == SimProcess::State::kFinished) {
+    return;  // Stale wake-up for a process that already died.
+  }
+  p->state_ = SimProcess::State::kReady;
+  Schedule(0, [p] {
+    if (p->state_ == SimProcess::State::kReady) {
+      p->RunUntilParked();
+    }
+  });
+}
+
+void Simulation::Run() {
+  stop_requested_ = false;
+  while (!events_.empty() && !stop_requested_) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+  }
+}
+
+void Simulation::RunFor(SimTime duration) {
+  const SimTime deadline = now_ + duration;
+  stop_requested_ = false;
+  int64_t spin = 0;
+  while (!events_.empty() && !stop_requested_ && events_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    if (ev.time == now_) {
+      if (++spin > 2000000) {
+        fprintf(stderr, "sim: suspected zero-delay event loop at t=%lld us\n",
+                static_cast<long long>(now_));
+        spin = 0;
+      }
+    } else {
+      spin = 0;
+    }
+    now_ = ev.time;
+    ev.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulation::Sleep(SimTime duration) {
+  SimProcess* self = Current();
+  assert(self != nullptr && "Sleep requires process context");
+  assert(duration >= 0);
+  if (self->cancelled_) {
+    return;
+  }
+  self->state_ = SimProcess::State::kBlocked;
+  Schedule(duration, [this, self] { MakeReady(self); });
+  self->YieldToScheduler();
+}
+
+SimProcess* Simulation::Current() { return g_current_process; }
+
+void Simulation::DumpProcesses() const {
+  static const char* kStateNames[] = {"ready", "running", "blocked", "finished"};
+  fprintf(stderr, "--- simulation processes at t=%lld us ---\n",
+          static_cast<long long>(now_));
+  for (const auto& p : processes_) {
+    if (p->state() != SimProcess::State::kFinished) {
+      fprintf(stderr, "  %-40s %s\n", p->name().c_str(),
+              kStateNames[static_cast<int>(p->state())]);
+    }
+  }
+}
+
+int Simulation::blocked_process_count() const {
+  int n = 0;
+  for (const auto& p : processes_) {
+    if (p->state() == SimProcess::State::kBlocked) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace locus

@@ -1,0 +1,188 @@
+// Discrete-event simulation engine with cooperative blocking processes.
+//
+// The engine is single-threaded from the simulation's point of view: exactly
+// one piece of simulated code runs at any instant, either an event callback
+// or a SimProcess. SimProcesses are backed by OS threads but hand control
+// back and forth with the scheduler through a strict handshake, which lets
+// kernel and application code be written in natural blocking style (as Unix
+// syscalls are) while the run stays fully deterministic.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace locus {
+
+class Simulation;
+class SimProcess;
+
+// Thrown inside a SimProcess body when the simulation is tearing down while
+// the process is still blocked; unwinds the body so its thread can join.
+// Process bodies must be exception safe (RAII) but should not catch this.
+struct SimCancelled {};
+
+// A cooperative simulated thread of control.
+//
+// Created via Simulation::Spawn. The body runs on a dedicated OS thread, but
+// only while the scheduler has handed it control; every blocking primitive
+// (Sleep, WaitQueue::Wait, ...) parks the thread and returns control to the
+// scheduler until a wake-up event fires.
+class SimProcess {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kFinished };
+
+  ~SimProcess();
+  SimProcess(const SimProcess&) = delete;
+  SimProcess& operator=(const SimProcess&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t id() const { return id_; }
+  State state() const { return state_; }
+  Simulation& simulation() const { return *sim_; }
+
+ private:
+  friend class Simulation;
+  friend class WaitQueue;
+
+  SimProcess(Simulation* sim, uint64_t id, std::string name, std::function<void()> body);
+
+  // Runs on the process thread: waits until the scheduler grants control.
+  void AwaitGrant();
+  // Runs on the process thread: returns control to the scheduler.
+  void YieldToScheduler();
+  // Runs on the scheduler thread: transfers control to this process and
+  // blocks until the process parks or finishes.
+  void RunUntilParked();
+
+  Simulation* sim_;
+  uint64_t id_;
+  std::string name_;
+  std::function<void()> body_;
+  State state_ = State::kReady;
+  bool cancelled_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool has_control_ = false;   // process may run
+  bool parked_ = true;         // process has returned control
+  bool thread_done_ = false;
+  std::thread thread_;
+};
+
+// A condition-variable analogue for SimProcesses. Wait() parks the calling
+// process; Notify*(), callable from event or process context, schedules the
+// waiters to resume at the current virtual time.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulation* sim) : sim_(sim) {}
+
+  // Parks the calling process until notified. Must be called from process
+  // context.
+  void Wait();
+
+  // Wakes the longest-waiting process, if any.
+  void NotifyOne();
+  // Wakes all waiting processes.
+  void NotifyAll();
+
+  bool empty() const { return waiters_.empty(); }
+  size_t size() const { return waiters_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::deque<SimProcess*> waiters_;
+};
+
+// The simulation: virtual clock, event queue, and process scheduler.
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` to run in event context after `delay` of virtual time.
+  void Schedule(SimTime delay, std::function<void()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Creates a process whose body starts running at the current virtual time.
+  // The returned pointer stays valid until the Simulation is destroyed.
+  SimProcess* Spawn(std::string name, std::function<void()> body);
+
+  // Runs until the event queue drains (or Stop() is called). Processes left
+  // blocked with no pending wake-up are reported by blocked_process_count().
+  void Run();
+  // Runs for at most `duration` of virtual time.
+  void RunFor(SimTime duration);
+  // Requests that Run return after the current event completes.
+  void Stop() { stop_requested_ = true; }
+
+  // Forcibly terminates a parked process: its body unwinds via SimCancelled.
+  // Used to model processes dying when their site crashes. Must not target
+  // the currently running process (a process models its own death by
+  // returning or throwing).
+  void Kill(SimProcess* p);
+
+  // --- Primitives callable from process context only ---
+
+  // Advances virtual time for the calling process.
+  void Sleep(SimTime duration);
+  // Consumes simulated CPU: shorthand for Sleep(InstructionCost(n)).
+  void BurnInstructions(int64_t n) { Sleep(InstructionCost(n)); }
+
+  // The process currently executing on this thread, or nullptr in event
+  // context.
+  static SimProcess* Current();
+
+  // Number of processes still blocked (diagnostic; nonzero after Run usually
+  // indicates a lost wake-up or a genuine deadlock in the workload).
+  int blocked_process_count() const;
+  // Debug aid: prints every non-finished process and its state to stderr.
+  // Unsynchronized; intended for post-mortem inspection from a watchdog.
+  void DumpProcesses() const;
+  int spawned_process_count() const { return static_cast<int>(processes_.size()); }
+
+ private:
+  friend class SimProcess;
+  friend class WaitQueue;
+
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  // Marks `p` runnable at the current time (scheduler will hand it control).
+  void MakeReady(SimProcess* p);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_pid_ = 1;
+  bool stop_requested_ = false;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<std::unique_ptr<SimProcess>> processes_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,60 @@
+// Named counters and simple latency accumulators for experiment reporting.
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace locus {
+
+// Accumulates samples of a virtual-time quantity (latency, service time).
+class LatencyStat {
+ public:
+  void Add(SimTime sample) {
+    sum_ += sample;
+    ++count_;
+    if (count_ == 1 || sample < min_) {
+      min_ = sample;
+    }
+    if (count_ == 1 || sample > max_) {
+      max_ = sample;
+    }
+  }
+
+  int64_t count() const { return count_; }
+  SimTime min() const { return min_; }
+  SimTime max() const { return max_; }
+  double MeanMs() const {
+    return count_ == 0 ? 0.0 : ToMilliseconds(sum_) / static_cast<double>(count_);
+  }
+
+ private:
+  SimTime sum_ = 0;
+  SimTime min_ = 0;
+  SimTime max_ = 0;
+  int64_t count_ = 0;
+};
+
+// A registry of named monotonic counters, used for I/O accounting (the
+// Figure 5 experiment is an operation-count experiment).
+class StatRegistry {
+ public:
+  void Add(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  void Reset() { counters_.clear(); }
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace locus
+
+#endif  // SRC_SIM_STATS_H_

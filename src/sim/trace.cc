@@ -1,0 +1,32 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace locus {
+
+void TraceLog::Log(SimTime time, const std::string& origin, const char* format, ...) {
+  if (!enabled_) {
+    return;
+  }
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (echo_) {
+    fprintf(stderr, "[%9.3f ms] %-10s %s\n", ToMilliseconds(time), origin.c_str(), buffer);
+  }
+  records_.push_back(Record{time, origin, buffer});
+}
+
+int TraceLog::CountContaining(const std::string& needle) const {
+  int n = 0;
+  for (const Record& r : records_) {
+    if (r.message.find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace locus

@@ -1,0 +1,244 @@
+// Tests for dbkit — the database layer composed on the OS transaction
+// facility (the paper's motivating application class).
+
+#include "src/dbkit/table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace locus {
+namespace {
+
+std::vector<uint8_t> Record(const std::string& text, int32_t bytes) {
+  std::string padded = text;
+  padded.resize(bytes, ' ');
+  return {padded.begin(), padded.end()};
+}
+
+std::string Trim(const std::vector<uint8_t>& record) {
+  std::string text(record.begin(), record.end());
+  text.erase(text.find_last_not_of(' ') + 1);
+  return text;
+}
+
+class DbKitTest : public ::testing::Test {
+ protected:
+  DbKitTest() : system_(3) {}
+
+  void RunAll() {
+    system_.Run();
+    EXPECT_EQ(system_.sim().blocked_process_count(), 0) << "workload deadlocked";
+  }
+
+  System system_;
+};
+
+TEST_F(DbKitTest, TableInsertGetUpdateScan) {
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    ASSERT_EQ(Table::Create(sys, "/t"), Err::kOk);
+    Table table(sys, "/t", 32);
+    ASSERT_EQ(table.Open(), Err::kOk);
+
+    auto r0 = table.Insert(Record("alpha", 32));
+    auto r1 = table.Insert(Record("beta", 32));
+    auto r2 = table.Insert(Record("gamma", 32));
+    ASSERT_TRUE(r0.ok() && r1.ok() && r2.ok());
+    EXPECT_EQ(r0.value, 0);
+    EXPECT_EQ(r1.value, 1);
+    EXPECT_EQ(r2.value, 2);
+    EXPECT_EQ(table.Count().value, 3);
+
+    EXPECT_EQ(Trim(table.Get(1).value), "beta");
+    ASSERT_EQ(table.Update(1, Record("BETA2", 32)), Err::kOk);
+    EXPECT_EQ(Trim(table.Get(1).value), "BETA2");
+    EXPECT_EQ(table.Get(99).err, Err::kNoEnt);
+    EXPECT_EQ(table.Update(99, Record("x", 32)), Err::kNoEnt);
+
+    std::vector<std::string> seen;
+    ASSERT_EQ(table.Scan([&](int64_t row, const std::vector<uint8_t>& rec) {
+      (void)row;
+      seen.push_back(Trim(rec));
+      return true;
+    }), Err::kOk);
+    EXPECT_EQ(seen, (std::vector<std::string>{"alpha", "BETA2", "gamma"}));
+  });
+  RunAll();
+}
+
+TEST_F(DbKitTest, TransactionalMultiTableUpdateIsAtomic) {
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    ASSERT_EQ(Table::Create(sys, "/a"), Err::kOk);
+    sys.Fork(1, [](Syscalls& c) { ASSERT_EQ(Table::Create(c, "/b"), Err::kOk); });
+    sys.WaitChildren();
+    Table a(sys, "/a", 16);
+    Table b(sys, "/b", 16);
+    ASSERT_EQ(a.Open(), Err::kOk);
+    ASSERT_EQ(b.Open(), Err::kOk);
+    a.Insert(Record("a-orig", 16));
+    b.Insert(Record("b-orig", 16));
+
+    // Abort: neither table changes.
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    ASSERT_EQ(a.Update(0, Record("a-mod", 16)), Err::kOk);
+    ASSERT_EQ(b.Update(0, Record("b-mod", 16)), Err::kOk);
+    ASSERT_EQ(sys.AbortTrans(), Err::kOk);
+    EXPECT_EQ(Trim(a.Get(0).value), "a-orig");
+    EXPECT_EQ(Trim(b.Get(0).value), "b-orig");
+
+    // Commit: both change.
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    ASSERT_EQ(a.Update(0, Record("a-new", 16)), Err::kOk);
+    ASSERT_EQ(b.Update(0, Record("b-new", 16)), Err::kOk);
+    ASSERT_EQ(sys.EndTrans(), Err::kOk);
+    EXPECT_EQ(Trim(a.Get(0).value), "a-new");
+    EXPECT_EQ(Trim(b.Get(0).value), "b-new");
+  });
+  RunAll();
+}
+
+TEST_F(DbKitTest, ConcurrentInsertersNeverCollide) {
+  std::set<int64_t> rows;
+  int inserts = 0;
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    ASSERT_EQ(Table::Create(sys, "/conc"), Err::kOk);
+    for (int w = 0; w < 3; ++w) {
+      sys.Fork(w, [&, w](Syscalls& worker) {
+        Table table(worker, "/conc", 16);
+        ASSERT_EQ(table.Open(), Err::kOk);
+        for (int i = 0; i < 5; ++i) {
+          auto row = table.Insert(Record("w" + std::to_string(w), 16));
+          ASSERT_TRUE(row.ok());
+          rows.insert(row.value);
+          ++inserts;
+          worker.Compute(Milliseconds(7));
+        }
+      });
+    }
+    sys.WaitChildren();
+  });
+  RunAll();
+  EXPECT_EQ(inserts, 15);
+  EXPECT_EQ(rows.size(), 15u);  // Every row id distinct: no lost slots.
+}
+
+TEST_F(DbKitTest, HashIndexPutLookup) {
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    ASSERT_EQ(HashIndex::Create(sys, "/idx", 16, 64), Err::kOk);
+    HashIndex index(sys, "/idx", 16, 64);
+    ASSERT_EQ(index.Open(), Err::kOk);
+    EXPECT_FALSE(index.Lookup("missing").value.has_value());
+    ASSERT_EQ(index.Put("alice", 3), Err::kOk);
+    ASSERT_EQ(index.Put("bob", 7), Err::kOk);
+    EXPECT_EQ(index.Lookup("alice").value.value(), 3);
+    EXPECT_EQ(index.Lookup("bob").value.value(), 7);
+    EXPECT_EQ(index.Put("alice", 9), Err::kExists);  // Unique keys.
+    EXPECT_FALSE(index.Lookup("carol").value.has_value());
+  });
+  RunAll();
+}
+
+TEST_F(DbKitTest, HashIndexHandlesCollisionChains) {
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    // Tiny index: 8 buckets, 6 keys — collisions guaranteed.
+    ASSERT_EQ(HashIndex::Create(sys, "/small", 16, 8), Err::kOk);
+    HashIndex index(sys, "/small", 16, 8);
+    ASSERT_EQ(index.Open(), Err::kOk);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_EQ(index.Put("key" + std::to_string(i), i * 10), Err::kOk);
+    }
+    for (int i = 0; i < 6; ++i) {
+      auto hit = index.Lookup("key" + std::to_string(i));
+      ASSERT_TRUE(hit.ok());
+      ASSERT_TRUE(hit.value.has_value());
+      EXPECT_EQ(*hit.value, i * 10);
+    }
+    // Fill it completely, then overflow.
+    ASSERT_EQ(index.Put("key6", 60), Err::kOk);
+    ASSERT_EQ(index.Put("key7", 70), Err::kOk);
+    EXPECT_EQ(index.Put("key8", 80), Err::kBusy);
+  });
+  RunAll();
+}
+
+TEST_F(DbKitTest, IndexAndTableStayConsistentUnderAbort) {
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    ASSERT_EQ(Table::Create(sys, "/users"), Err::kOk);
+    ASSERT_EQ(HashIndex::Create(sys, "/users.idx", 16, 32), Err::kOk);
+    Table table(sys, "/users", 32);
+    HashIndex index(sys, "/users.idx", 16, 32);
+    ASSERT_EQ(table.Open(), Err::kOk);
+    ASSERT_EQ(index.Open(), Err::kOk);
+
+    // Aborted insert: neither the row nor the index entry survive.
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto row = table.Insert(Record("mallory", 32));
+    ASSERT_TRUE(row.ok());
+    ASSERT_EQ(index.Put("mallory", row.value), Err::kOk);
+    ASSERT_EQ(sys.AbortTrans(), Err::kOk);
+    EXPECT_EQ(table.Count().value, 0);
+    EXPECT_FALSE(index.Lookup("mallory").value.has_value());
+
+    // Committed insert: both visible, consistently.
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    row = table.Insert(Record("alice", 32));
+    ASSERT_TRUE(row.ok());
+    ASSERT_EQ(index.Put("alice", row.value), Err::kOk);
+    ASSERT_EQ(sys.EndTrans(), Err::kOk);
+    auto hit = index.Lookup("alice");
+    ASSERT_TRUE(hit.value.has_value());
+    EXPECT_EQ(Trim(table.Get(*hit.value).value), "alice");
+  });
+  RunAll();
+}
+
+TEST_F(DbKitTest, SharedLogSurvivesCallersAbort) {
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    ASSERT_EQ(SharedLog::Create(sys, "/audit"), Err::kOk);
+    SharedLog log(sys, "/audit", 32);
+    ASSERT_EQ(log.Open(), Err::kOk);
+
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto idx = log.Append("attempting-update");
+    ASSERT_TRUE(idx.ok());
+    ASSERT_EQ(sys.AbortTrans(), Err::kOk);
+    // Section 3.4: the audit record escaped the aborted transaction.
+    EXPECT_EQ(log.Count().value, 1);
+    EXPECT_EQ(log.ReadRecord(idx.value).value, "attempting-update");
+  });
+  RunAll();
+}
+
+TEST_F(DbKitTest, SharedLogConcurrentAppendersFromAllSites) {
+  int appended = 0;
+  system_.Spawn(0, "db", [&](Syscalls& sys) {
+    ASSERT_EQ(SharedLog::Create(sys, "/multilog"), Err::kOk);
+    for (int w = 0; w < 3; ++w) {
+      sys.Fork(w, [&, w](Syscalls& worker) {
+        SharedLog log(worker, "/multilog", 32);
+        ASSERT_EQ(log.Open(), Err::kOk);
+        for (int i = 0; i < 4; ++i) {
+          auto idx = log.Append("site" + std::to_string(w) + "#" + std::to_string(i));
+          ASSERT_TRUE(idx.ok());
+          ++appended;
+          worker.Compute(Milliseconds(5));
+        }
+      });
+    }
+    sys.WaitChildren();
+    SharedLog log(sys, "/multilog", 32);
+    ASSERT_EQ(log.Open(), Err::kOk);
+    EXPECT_EQ(log.Count().value, 12);  // No lost or overlapping records.
+    // Every record is intact (no torn/overwritten entries).
+    for (int64_t i = 0; i < 12; ++i) {
+      auto text = log.ReadRecord(i);
+      ASSERT_TRUE(text.ok());
+      EXPECT_EQ(text.value.substr(0, 4), "site");
+    }
+  });
+  RunAll();
+  EXPECT_EQ(appended, 12);
+}
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,334 @@
+// System-level integration and property tests: money conservation under
+// concurrent transactions, deadlocks, random aborts, site crashes and
+// partitions; serializability of blind increments; and a long randomized
+// soak combining the fault injectors.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/locus/system.h"
+
+namespace locus {
+namespace {
+
+constexpr int kRecordBytes = 16;
+
+std::string FormatBalance(int64_t v) {
+  char buffer[kRecordBytes + 1];
+  snprintf(buffer, sizeof(buffer), "%015lld\n", static_cast<long long>(v));
+  return std::string(buffer, kRecordBytes);
+}
+
+int64_t ParseBalance(const std::vector<uint8_t>& b) {
+  return std::stoll(std::string(b.begin(), b.end()));
+}
+
+void CreateAccounts(Syscalls& sys, const std::string& path, int accounts, int64_t initial) {
+  ASSERT_EQ(sys.Creat(path), Err::kOk);
+  auto fd = sys.Open(path, {.read = true, .write = true});
+  ASSERT_TRUE(fd.ok());
+  for (int a = 0; a < accounts; ++a) {
+    ASSERT_EQ(sys.WriteString(fd.value, FormatBalance(initial)), Err::kOk);
+  }
+  ASSERT_EQ(sys.Close(fd.value), Err::kOk);
+}
+
+// Transfers `amount` between two records, possibly in different files.
+// Returns true if the transaction committed.
+bool Transfer(Syscalls& sys, const std::string& from_file, int from_acct,
+              const std::string& to_file, int to_acct, int64_t amount) {
+  if (sys.BeginTrans() != Err::kOk) {
+    return false;
+  }
+  bool ok = true;
+  auto f1 = sys.Open(from_file, {.read = true, .write = true});
+  auto f2 = sys.Open(to_file, {.read = true, .write = true});
+  ok = f1.ok() && f2.ok();
+  int64_t b1 = 0;
+  int64_t b2 = 0;
+  if (ok) {
+    sys.Seek(f1.value, from_acct * kRecordBytes);
+    ok = sys.Lock(f1.value, kRecordBytes, LockOp::kExclusive).err == Err::kOk;
+  }
+  if (ok) {
+    auto d = sys.Read(f1.value, kRecordBytes);
+    ok = d.ok();
+    if (ok) {
+      b1 = ParseBalance(d.value);
+    }
+  }
+  if (ok) {
+    sys.Seek(f2.value, to_acct * kRecordBytes);
+    ok = sys.Lock(f2.value, kRecordBytes, LockOp::kExclusive).err == Err::kOk;
+  }
+  if (ok) {
+    auto d = sys.Read(f2.value, kRecordBytes);
+    ok = d.ok();
+    if (ok) {
+      b2 = ParseBalance(d.value);
+    }
+  }
+  if (ok) {
+    sys.Seek(f1.value, from_acct * kRecordBytes);
+    std::string r1 = FormatBalance(b1 - amount);
+    ok = sys.Write(f1.value, {r1.begin(), r1.end()}) == Err::kOk;
+  }
+  if (ok) {
+    sys.Seek(f2.value, to_acct * kRecordBytes);
+    std::string r2 = FormatBalance(b2 + amount);
+    ok = sys.Write(f2.value, {r2.begin(), r2.end()}) == Err::kOk;
+  }
+  if (f1.ok()) {
+    sys.Close(f1.value);
+  }
+  if (f2.ok()) {
+    sys.Close(f2.value);
+  }
+  if (!ok) {
+    if (sys.InTransaction()) {
+      sys.AbortTrans();
+    }
+    return false;
+  }
+  return sys.EndTrans() == Err::kOk;
+}
+
+int64_t AuditTotal(Syscalls& sys, const std::vector<std::string>& files, int accounts) {
+  int64_t total = 0;
+  for (const std::string& path : files) {
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      auto fd = sys.Open(path, {});
+      if (!fd.ok()) {
+        sys.Compute(Milliseconds(200));
+        continue;
+      }
+      int64_t file_total = 0;
+      bool ok = true;
+      for (int a = 0; a < accounts && ok; ++a) {
+        auto d = sys.Read(fd.value, kRecordBytes);
+        ok = d.ok() && d.value.size() == kRecordBytes;
+        if (ok) {
+          file_total += ParseBalance(d.value);
+        }
+      }
+      sys.Close(fd.value);
+      if (ok) {
+        total += file_total;
+        break;
+      }
+      sys.Compute(Milliseconds(200));
+    }
+  }
+  return total;
+}
+
+TEST(Integration, MoneyConservedUnderConcurrencyAndDeadlocks) {
+  System system(3, SystemOptions{.seed = 11});
+  constexpr int kAccounts = 4;
+  constexpr int64_t kInitial = 1000;
+  std::vector<std::string> files = {"/b0", "/b1", "/b2"};
+  int committed = 0;
+  int64_t audited = -1;
+
+  system.Spawn(0, "driver", [&](Syscalls& sys) {
+    for (int b = 0; b < 3; ++b) {
+      sys.Fork(b, [&, b](Syscalls& c) { CreateAccounts(c, files[b], kAccounts, kInitial); });
+    }
+    sys.WaitChildren();
+    for (int t = 0; t < 6; ++t) {
+      sys.Fork(t % 3, [&, t](Syscalls& teller) {
+        Rng rng(500 + t);
+        for (int i = 0; i < 8; ++i) {
+          const std::string& from = files[rng.Below(3)];
+          const std::string& to = files[rng.Below(3)];
+          int fa = static_cast<int>(rng.Below(kAccounts));
+          int ta = static_cast<int>(rng.Below(kAccounts));
+          if (from == to && fa == ta) {
+            continue;
+          }
+          teller.Compute(Milliseconds(rng.Range(1, 30)));
+          if (Transfer(teller, from, fa, to, ta, rng.Range(1, 100))) {
+            ++committed;
+          } else {
+            teller.Compute(Milliseconds(50));
+          }
+        }
+      });
+    }
+    sys.WaitChildren();
+    sys.Compute(Seconds(3));  // Drain phase two.
+    audited = AuditTotal(sys, files, kAccounts);
+  });
+  system.StartDeadlockDetector(1, Milliseconds(120));
+  system.RunFor(Seconds(900));
+  system.StopDaemons();
+  system.RunFor(Seconds(2));
+
+  EXPECT_GT(committed, 10);
+  EXPECT_EQ(audited, 3 * kAccounts * kInitial);
+  EXPECT_EQ(system.sim().blocked_process_count(), 0);
+}
+
+TEST(Integration, MoneyConservedAcrossStorageSiteCrash) {
+  System system(3, SystemOptions{.seed = 23});
+  constexpr int kAccounts = 4;
+  constexpr int64_t kInitial = 500;
+  std::vector<std::string> files = {"/b0", "/b1"};
+  int64_t audited = -1;
+
+  system.Spawn(0, "driver", [&](Syscalls& sys) {
+    CreateAccounts(sys, files[0], kAccounts, kInitial);
+    sys.Fork(1, [&](Syscalls& c) { CreateAccounts(c, files[1], kAccounts, kInitial); });
+    sys.WaitChildren();
+    // Two tellers churn transfers; site 1 (one storage site) will crash and
+    // reboot under them.
+    for (int t = 0; t < 2; ++t) {
+      sys.Fork(2, [&, t](Syscalls& teller) {
+        Rng rng(70 + t);
+        for (int i = 0; i < 12; ++i) {
+          int from_file = static_cast<int>(rng.Below(2));
+          int to_file = static_cast<int>(rng.Below(2));
+          int from_acct = static_cast<int>(rng.Below(kAccounts));
+          int to_acct = static_cast<int>(rng.Below(kAccounts));
+          if (from_file != to_file || from_acct != to_acct) {
+            Transfer(teller, files[from_file], from_acct, files[to_file], to_acct,
+                     rng.Range(1, 40));
+          }
+          teller.Compute(Milliseconds(rng.Range(10, 120)));
+        }
+      });
+    }
+    sys.Compute(Milliseconds(700));
+    sys.system().CrashSite(1);
+    sys.Compute(Seconds(2));
+    sys.system().RebootSite(1);
+    sys.WaitChildren();
+    sys.Compute(Seconds(5));
+    audited = AuditTotal(sys, files, kAccounts);
+  });
+  system.RunFor(Seconds(900));
+
+  // Atomicity across the crash: every transfer either fully happened or
+  // fully didn't, so the total is conserved.
+  EXPECT_EQ(audited, 2 * kAccounts * kInitial);
+}
+
+TEST(Integration, BlindIncrementsSerializeExactly) {
+  // N transactions each increment the same counter record once, from
+  // different sites, with maximal contention. Two-phase locking must make
+  // the result exactly N (no lost updates).
+  System system(3, SystemOptions{.seed = 5});
+  constexpr int kWorkers = 6;
+  constexpr int kIncrementsEach = 5;
+  int64_t final_value = -1;
+
+  system.Spawn(0, "driver", [&](Syscalls& sys) {
+    CreateAccounts(sys, "/counter", 1, 0);
+    for (int w = 0; w < kWorkers; ++w) {
+      sys.Fork(w % 3, [&](Syscalls& worker) {
+        for (int i = 0; i < kIncrementsEach; ++i) {
+          while (true) {
+            if (worker.BeginTrans() != Err::kOk) {
+              continue;
+            }
+            auto fd = worker.Open("/counter", {.read = true, .write = true});
+            bool ok = fd.ok();
+            int64_t value = 0;
+            if (ok) {
+              worker.Seek(fd.value, 0);
+              ok = worker.Lock(fd.value, kRecordBytes, LockOp::kExclusive).err == Err::kOk;
+            }
+            if (ok) {
+              auto d = worker.Read(fd.value, kRecordBytes);
+              ok = d.ok();
+              if (ok) {
+                value = ParseBalance(d.value);
+              }
+            }
+            if (ok) {
+              worker.Seek(fd.value, 0);
+              std::string r = FormatBalance(value + 1);
+              ok = worker.Write(fd.value, {r.begin(), r.end()}) == Err::kOk;
+            }
+            if (fd.ok()) {
+              worker.Close(fd.value);
+            }
+            if (ok && worker.EndTrans() == Err::kOk) {
+              break;
+            }
+            if (worker.InTransaction()) {
+              worker.AbortTrans();
+            }
+            worker.Compute(Milliseconds(25));
+          }
+        }
+      });
+    }
+    sys.WaitChildren();
+    sys.Compute(Seconds(3));
+    auto fd = sys.Open("/counter", {});
+    auto d = sys.Read(fd.value, kRecordBytes);
+    if (d.ok()) {
+      final_value = ParseBalance(d.value);
+    }
+    sys.Close(fd.value);
+  });
+  system.RunFor(Seconds(900));
+  EXPECT_EQ(final_value, kWorkers * kIncrementsEach);
+}
+
+TEST(Integration, RandomFaultSoak) {
+  // Random transfers with random crash/reboot and partition/heal events on
+  // non-storage sites. Invariants: no blocked processes at the end, money
+  // conserved on the storage site that never fails.
+  System system(4, SystemOptions{.seed = 99});
+  constexpr int kAccounts = 6;
+  constexpr int64_t kInitial = 300;
+  int64_t audited = -1;
+
+  system.Spawn(0, "driver", [&](Syscalls& sys) {
+    CreateAccounts(sys, "/bank", kAccounts, kInitial);  // All money at site 0.
+    for (int t = 0; t < 4; ++t) {
+      sys.Fork(1 + (t % 3), [&, t](Syscalls& teller) {
+        Rng rng(900 + t);
+        for (int i = 0; i < 10; ++i) {
+          int fa = static_cast<int>(rng.Below(kAccounts));
+          int ta = static_cast<int>(rng.Below(kAccounts));
+          if (fa != ta) {
+            Transfer(teller, "/bank", fa, "/bank", ta, rng.Range(1, 30));
+          }
+          teller.Compute(Milliseconds(rng.Range(5, 80)));
+        }
+      });
+    }
+    // Fault injector: bounce the TELLER sites (never site 0, the storage).
+    Rng chaos(4242);
+    for (int round = 0; round < 4; ++round) {
+      sys.Compute(Milliseconds(400));
+      SiteId victim = 1 + static_cast<SiteId>(chaos.Below(3));
+      if (chaos.Chance(0.5)) {
+        sys.system().CrashSite(victim);
+        sys.Compute(Milliseconds(500));
+        sys.system().RebootSite(victim);
+      } else {
+        sys.system().Partition({{0, (victim % 3) + 1}});
+        sys.Compute(Milliseconds(500));
+        sys.system().HealPartitions();
+      }
+    }
+    sys.WaitChildren();
+    sys.Compute(Seconds(5));
+    audited = AuditTotal(sys, {"/bank"}, kAccounts);
+  });
+  system.StartDeadlockDetector(0, Milliseconds(150));
+  system.RunFor(Seconds(900));
+  system.StopDaemons();
+  system.RunFor(Seconds(2));
+
+  EXPECT_EQ(audited, kAccounts * kInitial);
+}
+
+}  // namespace
+}  // namespace locus

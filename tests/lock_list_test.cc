@@ -1,0 +1,267 @@
+// Lock-list semantics: the Figure 1 compatibility matrix, retained locks
+// (rules 1 and 2 of section 3.3), non-transaction locks (section 3.4), and
+// upgrade/downgrade/extend/contract behaviour (section 3.2).
+
+#include "src/lock/lock_list.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace locus {
+namespace {
+
+const TxnId kT1{0, 0, 1};
+const TxnId kT2{0, 0, 2};
+
+LockOwner Proc(Pid pid) { return LockOwner{pid, kNoTxn}; }
+LockOwner Txn(Pid pid, const TxnId& t) { return LockOwner{pid, t}; }
+
+// --- Figure 1: the full compatibility matrix, exhaustively parameterized ---
+
+struct MatrixCase {
+  LockMode held;
+  LockMode acting;
+  AccessAllowed expected;
+};
+
+class CompatibilityMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(CompatibilityMatrix, MatchesFigure1) {
+  const MatrixCase& c = GetParam();
+  EXPECT_EQ(CompatibleAccess(c.held, c.acting), c.expected)
+      << LockModeName(c.held) << " vs " << LockModeName(c.acting);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure1, CompatibilityMatrix,
+    ::testing::Values(
+        // Unix row: r/w with Unix, read under Shared, nothing under Exclusive.
+        MatrixCase{LockMode::kUnix, LockMode::kUnix, AccessAllowed::kReadWrite},
+        MatrixCase{LockMode::kShared, LockMode::kUnix, AccessAllowed::kReadOnly},
+        MatrixCase{LockMode::kExclusive, LockMode::kUnix, AccessAllowed::kNone},
+        // Shared row.
+        MatrixCase{LockMode::kUnix, LockMode::kShared, AccessAllowed::kReadWrite},
+        MatrixCase{LockMode::kShared, LockMode::kShared, AccessAllowed::kReadOnly},
+        MatrixCase{LockMode::kExclusive, LockMode::kShared, AccessAllowed::kNone},
+        // Exclusive row.
+        MatrixCase{LockMode::kUnix, LockMode::kExclusive, AccessAllowed::kReadWrite},
+        MatrixCase{LockMode::kShared, LockMode::kExclusive, AccessAllowed::kNone},
+        MatrixCase{LockMode::kExclusive, LockMode::kExclusive, AccessAllowed::kNone}));
+
+TEST(LocksCompatible, OnlySharedShared) {
+  EXPECT_TRUE(LocksCompatible(LockMode::kShared, LockMode::kShared));
+  EXPECT_FALSE(LocksCompatible(LockMode::kShared, LockMode::kExclusive));
+  EXPECT_FALSE(LocksCompatible(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_FALSE(LocksCompatible(LockMode::kExclusive, LockMode::kExclusive));
+}
+
+// --- Owner identity ---
+
+TEST(LockOwner, TransactionMembersAreInterchangeable) {
+  EXPECT_TRUE(Txn(1, kT1).SameAs(Txn(2, kT1)));
+  EXPECT_FALSE(Txn(1, kT1).SameAs(Txn(1, kT2)));
+}
+
+TEST(LockOwner, ProcessNeverConflictsWithItself) {
+  // Pre-transaction personal locks vs the same process inside a transaction.
+  EXPECT_TRUE(Proc(7).SameAs(Txn(7, kT1)));
+  EXPECT_FALSE(Proc(7).SameAs(Proc(8)));
+  EXPECT_FALSE(Proc(7).SameAs(Txn(8, kT1)));
+}
+
+// --- Grants, conflicts, upgrades ---
+
+TEST(LockList, SharedLocksCoexistExclusiveDoesNot) {
+  LockList list;
+  ASSERT_TRUE(list.CanGrant({0, 10}, Proc(1), LockMode::kShared));
+  list.Grant({0, 10}, Proc(1), LockMode::kShared, false);
+  EXPECT_TRUE(list.CanGrant({0, 10}, Proc(2), LockMode::kShared));
+  EXPECT_FALSE(list.CanGrant({0, 10}, Proc(2), LockMode::kExclusive));
+  EXPECT_FALSE(list.CanGrant({5, 10}, Proc(2), LockMode::kExclusive));
+  EXPECT_TRUE(list.CanGrant({10, 10}, Proc(2), LockMode::kExclusive));
+}
+
+TEST(LockList, UpgradeOwnLockDespiteSelf) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kShared, false);
+  EXPECT_TRUE(list.CanGrant({0, 10}, Proc(1), LockMode::kExclusive));
+  list.Grant({0, 10}, Proc(1), LockMode::kExclusive, false);
+  EXPECT_TRUE(list.Holds({0, 10}, Proc(1), LockMode::kExclusive));
+  // One entry only: the old shared entry was replaced.
+  EXPECT_EQ(list.entries().size(), 1u);
+}
+
+TEST(LockList, UpgradeBlockedByOtherSharedHolder) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kShared, false);
+  list.Grant({0, 10}, Proc(2), LockMode::kShared, false);
+  EXPECT_FALSE(list.CanGrant({0, 10}, Proc(1), LockMode::kExclusive));
+}
+
+TEST(LockList, ContractionLeavesRemainderHeld) {
+  LockList list;
+  list.Grant({0, 100}, Proc(1), LockMode::kExclusive, false);
+  // Contract to [0,50) by re-granting a shared lock there and unlocking tail.
+  list.Unlock({50, 50}, Proc(1));
+  EXPECT_TRUE(list.Holds({0, 50}, Proc(1), LockMode::kExclusive));
+  EXPECT_FALSE(list.Holds({0, 100}, Proc(1), LockMode::kExclusive));
+  EXPECT_TRUE(list.CanGrant({50, 50}, Proc(2), LockMode::kExclusive));
+}
+
+TEST(LockList, HoldsAcrossMultipleEntries) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kExclusive, false);
+  list.Grant({10, 10}, Proc(1), LockMode::kExclusive, false);
+  EXPECT_TRUE(list.Holds({5, 10}, Proc(1), LockMode::kExclusive));
+  EXPECT_FALSE(list.Holds({5, 20}, Proc(1), LockMode::kExclusive));
+}
+
+TEST(LockList, ExclusiveSatisfiesSharedHolds) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kExclusive, false);
+  EXPECT_TRUE(list.Holds({0, 10}, Proc(1), LockMode::kShared));
+}
+
+// --- Rule 1: transaction locks are retained on unlock ---
+
+TEST(LockList, TransactionUnlockRetains) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kExclusive, false);
+  list.Unlock({0, 10}, Txn(1, kT1));
+  ASSERT_EQ(list.entries().size(), 1u);
+  EXPECT_TRUE(list.entries()[0].retained);
+  // Still blocks others (section 3.1: not available outside the transaction).
+  EXPECT_FALSE(list.CanGrant({0, 10}, Proc(2), LockMode::kShared));
+  // But any member of the transaction may reacquire.
+  EXPECT_TRUE(list.CanGrant({0, 10}, Txn(5, kT1), LockMode::kExclusive));
+  list.Grant({0, 10}, Txn(5, kT1), LockMode::kExclusive, false);
+  EXPECT_TRUE(list.Holds({0, 10}, Txn(5, kT1), LockMode::kExclusive));
+}
+
+TEST(LockList, RetainedEntryNotCountedAsActivelyHeld) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kExclusive, false);
+  list.Unlock({0, 10}, Txn(1, kT1));
+  EXPECT_FALSE(list.Holds({0, 10}, Txn(1, kT1), LockMode::kExclusive));
+}
+
+TEST(LockList, NonTransactionUnlockDrops) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kExclusive, false);
+  list.Unlock({0, 10}, Proc(1));
+  EXPECT_TRUE(list.empty());
+  EXPECT_TRUE(list.CanGrant({0, 10}, Proc(2), LockMode::kExclusive));
+}
+
+TEST(LockList, PartialUnlockRetainsOnlyOverlap) {
+  LockList list;
+  list.Grant({0, 100}, Txn(1, kT1), LockMode::kExclusive, false);
+  list.Unlock({0, 40}, Txn(1, kT1));
+  EXPECT_TRUE(list.Holds({40, 60}, Txn(1, kT1), LockMode::kExclusive));
+  EXPECT_FALSE(list.Holds({0, 40}, Txn(1, kT1), LockMode::kExclusive));
+  EXPECT_FALSE(list.CanGrant({0, 40}, Proc(2), LockMode::kShared));  // Retained.
+}
+
+// --- Section 3.4: non-transaction locks escape two-phase locking ---
+
+TEST(LockList, NonTransactionLockByTransactionDropsOnUnlock) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kExclusive, /*non_transaction=*/true);
+  EXPECT_FALSE(list.CanGrant({0, 10}, Proc(2), LockMode::kShared));  // Obeys Figure 1.
+  list.Unlock({0, 10}, Txn(1, kT1));
+  EXPECT_TRUE(list.empty());  // Not retained: 2PL intentionally violated.
+}
+
+// --- Rule 2: locks covering dirty uncommitted records are sticky ---
+
+TEST(LockList, DirtyCoveredLockRetainedEvenAfterUnlock) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kShared, false);
+  list.MarkDirtyCovered({0, 10}, Txn(1, kT1));
+  list.Unlock({0, 10}, Txn(1, kT1));
+  ASSERT_EQ(list.entries().size(), 1u);
+  EXPECT_TRUE(list.entries()[0].retained);
+  EXPECT_TRUE(list.entries()[0].covers_dirty);
+}
+
+TEST(LockList, DirtyFlagSurvivesReacquisition) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kShared, false);
+  list.MarkDirtyCovered({0, 10}, Txn(1, kT1));
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kExclusive, false);  // Upgrade.
+  ASSERT_EQ(list.entries().size(), 1u);
+  EXPECT_TRUE(list.entries()[0].covers_dirty);
+}
+
+TEST(LockList, MarkDirtySkipsNonTransactionLocks) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kShared, /*non_transaction=*/true);
+  list.MarkDirtyCovered({0, 10}, Txn(1, kT1));
+  EXPECT_FALSE(list.entries()[0].covers_dirty);
+}
+
+// --- Release ---
+
+TEST(LockList, ReleaseTransactionDropsAllItsEntries) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kExclusive, false);
+  list.Grant({20, 10}, Txn(2, kT1), LockMode::kShared, false);
+  list.Grant({40, 10}, Txn(3, kT2), LockMode::kShared, false);
+  list.ReleaseTransaction(kT1);
+  ASSERT_EQ(list.entries().size(), 1u);
+  EXPECT_EQ(list.entries()[0].owner.txn, kT2);
+}
+
+TEST(LockList, ReleaseProcessKeepsTransactionEntries) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kExclusive, false);
+  list.Grant({20, 10}, Txn(1, kT1), LockMode::kShared, false);
+  list.ReleaseProcess(1);
+  ASSERT_EQ(list.entries().size(), 1u);
+  EXPECT_EQ(list.entries()[0].owner.txn, kT1);
+}
+
+// --- Enforced access (Figure 1 applied to reads/writes) ---
+
+TEST(LockList, EnforcementUnlockedReadersAllowedUnderShared) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kShared, false);
+  EXPECT_TRUE(list.MayRead({0, 10}, Proc(2)));
+  EXPECT_FALSE(list.MayWrite({0, 10}, Proc(2)));
+}
+
+TEST(LockList, EnforcementNothingAllowedUnderExclusive) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kExclusive, false);
+  EXPECT_FALSE(list.MayRead({0, 10}, Proc(2)));
+  EXPECT_FALSE(list.MayWrite({0, 10}, Proc(2)));
+  EXPECT_TRUE(list.MayRead({10, 10}, Proc(2)));  // Outside the locked range.
+  EXPECT_TRUE(list.MayWrite({10, 10}, Proc(2)));
+}
+
+TEST(LockList, OwnerAlwaysPassesItsOwnLocks) {
+  LockList list;
+  list.Grant({0, 10}, Txn(1, kT1), LockMode::kExclusive, false);
+  EXPECT_TRUE(list.MayRead({0, 10}, Txn(2, kT1)));   // Same transaction.
+  EXPECT_TRUE(list.MayWrite({0, 10}, Txn(2, kT1)));
+}
+
+TEST(LockList, SharedHolderCannotWriteBesideAnotherSharedHolder) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kShared, false);
+  list.Grant({0, 10}, Proc(2), LockMode::kShared, false);
+  EXPECT_TRUE(list.MayRead({0, 10}, Proc(1)));
+  EXPECT_FALSE(list.MayWrite({0, 10}, Proc(1)));
+}
+
+TEST(LockList, ConflictingOwnersReported) {
+  LockList list;
+  list.Grant({0, 10}, Proc(1), LockMode::kShared, false);
+  list.Grant({5, 10}, Proc(2), LockMode::kShared, false);
+  auto conflicts = list.ConflictingOwners({0, 20}, Proc(3), LockMode::kExclusive);
+  EXPECT_EQ(conflicts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,180 @@
+// Tests for the full-nested vs simple-nested baseline engine (section 7.1).
+
+#include "src/baseline/nested_txn.h"
+
+#include <gtest/gtest.h>
+
+namespace locus {
+namespace {
+
+class NestedTxnTest : public ::testing::TestWithParam<NestedTxnEngine::Mode> {
+ protected:
+  void Run(std::function<void(NestedTxnEngine&)> body) {
+    sim_.Spawn("test", [&] {
+      NestedTxnEngine engine(&sim_, &stats_, GetParam());
+      body(engine);
+    });
+    sim_.Run();
+  }
+
+  Simulation sim_;
+  StatRegistry stats_;
+};
+
+TEST_P(NestedTxnTest, TopLevelCommitPersists) {
+  Run([](NestedTxnEngine& e) {
+    e.BeginTop();
+    e.Write(1, 10);
+    e.Write(2, 20);
+    EXPECT_TRUE(e.CommitTop());
+    EXPECT_EQ(e.committed().at(1), 10);
+    EXPECT_EQ(e.committed().at(2), 20);
+  });
+}
+
+TEST_P(NestedTxnTest, TopLevelAbortDiscards) {
+  Run([](NestedTxnEngine& e) {
+    e.BeginTop();
+    e.Write(1, 10);
+    e.CommitTop();
+    e.BeginTop();
+    e.Write(1, 99);
+    e.AbortTop();
+    EXPECT_EQ(e.committed().at(1), 10);
+    EXPECT_FALSE(e.CommitTop());  // Nothing to commit.
+  });
+}
+
+TEST_P(NestedTxnTest, CommittedSubWorkVisibleAtTop) {
+  Run([](NestedTxnEngine& e) {
+    e.BeginTop();
+    e.BeginSub();
+    e.Write(5, 50);
+    e.CommitSub();
+    EXPECT_EQ(e.Read(5), 50);  // Parent sees the subtransaction's work.
+    EXPECT_TRUE(e.CommitTop());
+    EXPECT_EQ(e.committed().at(5), 50);
+  });
+}
+
+TEST_P(NestedTxnTest, SubWorkInvisibleOutsideUntilTopCommit) {
+  Run([](NestedTxnEngine& e) {
+    e.BeginTop();
+    e.BeginSub();
+    e.Write(7, 70);
+    e.CommitSub();
+    EXPECT_TRUE(e.committed().find(7) == e.committed().end());
+    e.CommitTop();
+    EXPECT_EQ(e.committed().at(7), 70);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, NestedTxnTest,
+                         ::testing::Values(NestedTxnEngine::Mode::kFullNested,
+                                           NestedTxnEngine::Mode::kSimpleNested),
+                         [](const auto& info) {
+                           return info.param == NestedTxnEngine::Mode::kFullNested
+                                      ? "full"
+                                      : "simple";
+                         });
+
+// --- Mode-specific semantics: the section 7.1 trade-off itself ---
+
+TEST(NestedTxnModes, FullNestedSubAbortLosesOnlyThatFrame) {
+  Simulation sim;
+  StatRegistry stats;
+  sim.Spawn("t", [&] {
+    NestedTxnEngine e(&sim, &stats, NestedTxnEngine::Mode::kFullNested);
+    e.BeginTop();
+    e.Write(1, 11);       // Top-level work.
+    e.BeginSub();
+    e.Write(2, 22);       // Committed sibling.
+    e.CommitSub();
+    e.BeginSub();
+    e.Write(3, 33);       // Doomed subtransaction.
+    e.Write(1, 99);       // It also touches the parent's key.
+    e.AbortSub();
+    EXPECT_TRUE(e.active());
+    EXPECT_EQ(e.Read(1), 11);  // Restored to the pre-sub value.
+    EXPECT_EQ(e.Read(2), 22);  // Sibling preserved.
+    EXPECT_EQ(e.Read(3), 0);   // Aborted write gone.
+    EXPECT_TRUE(e.CommitTop());
+    EXPECT_EQ(e.committed().at(2), 22);
+    EXPECT_EQ(e.committed().count(3), 0u);
+  });
+  sim.Run();
+}
+
+TEST(NestedTxnModes, SimpleNestedSubAbortLosesEverything) {
+  Simulation sim;
+  StatRegistry stats;
+  sim.Spawn("t", [&] {
+    NestedTxnEngine e(&sim, &stats, NestedTxnEngine::Mode::kSimpleNested);
+    e.BeginTop();
+    e.Write(1, 11);
+    e.BeginSub();
+    e.Write(2, 22);
+    e.CommitSub();
+    e.BeginSub();
+    e.AbortSub();              // Aborts the WHOLE transaction (section 2).
+    EXPECT_FALSE(e.active());
+    EXPECT_FALSE(e.CommitTop());
+    EXPECT_TRUE(e.committed().empty());
+  });
+  sim.Run();
+}
+
+TEST(NestedTxnModes, FullNestedCostsMorePerSubtransaction) {
+  Simulation sim;
+  StatRegistry stats;
+  int64_t full_cost = 0;
+  int64_t simple_cost = 0;
+  sim.Spawn("t", [&] {
+    for (auto mode :
+         {NestedTxnEngine::Mode::kFullNested, NestedTxnEngine::Mode::kSimpleNested}) {
+      stats.Reset();
+      NestedTxnEngine e(&sim, &stats, mode);
+      e.BeginTop();
+      for (int s = 0; s < 8; ++s) {
+        e.BeginSub();
+        e.Write(s, s);
+        e.CommitSub();
+      }
+      e.CommitTop();
+      (mode == NestedTxnEngine::Mode::kFullNested ? full_cost : simple_cost) =
+          stats.Get("nested.instructions");
+    }
+  });
+  sim.Run();
+  // The paper's claim: heavyweight processes + version stacks are expensive
+  // relative to counter bumps.
+  EXPECT_GT(full_cost, simple_cost * 5);
+}
+
+TEST(NestedTxnModes, NestedFrameUndoPropagatesThroughMerge) {
+  // A sub commits (merging its undo into the parent), then the parent frame
+  // aborts at a higher level: values restored to the pre-sub state.
+  Simulation sim;
+  StatRegistry stats;
+  sim.Spawn("t", [&] {
+    NestedTxnEngine e(&sim, &stats, NestedTxnEngine::Mode::kFullNested);
+    e.BeginTop();
+    e.Write(1, 10);
+    e.CommitTop();
+
+    e.BeginTop();
+    e.BeginSub();        // Level 2.
+    e.BeginSub();        // Level 3.
+    e.Write(1, 30);
+    e.CommitSub();       // Merge into level 2.
+    EXPECT_EQ(e.Read(1), 30);
+    e.AbortSub();        // Abort level 2: must restore the committed 10.
+    EXPECT_EQ(e.Read(1), 10);
+    e.CommitTop();
+    EXPECT_EQ(e.committed().at(1), 10);
+  });
+  sim.Run();
+}
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,189 @@
+// Network layer tests: latency model, RPC, partitions, crash behaviour,
+// topology notifications, and the deferred-responder mechanism.
+
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace locus {
+namespace {
+
+struct Ping {
+  int value = 0;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&sim_, &trace_) {
+    a_ = net_.AddSite("a");
+    b_ = net_.AddSite("b");
+    c_ = net_.AddSite("c");
+  }
+
+  Message Msg(int32_t type, int value, int32_t size = 64) {
+    Message m;
+    m.type = type;
+    m.size_bytes = size;
+    m.payload = Ping{value};
+    return m;
+  }
+
+  Simulation sim_;
+  TraceLog trace_;
+  Network net_;
+  SiteId a_, b_, c_;
+};
+
+TEST_F(NetworkTest, LatencyModelCalibration) {
+  // Small-message round trip should land near 16 ms (so a remote lock costs
+  // about 18 ms as in section 6.2).
+  SimTime rtt = 2 * net_.OneWayLatency(96);
+  EXPECT_GE(rtt, Milliseconds(14));
+  EXPECT_LE(rtt, Milliseconds(17));
+  // A 1 KB page adds noticeable wire time at 10 Mb/s.
+  EXPECT_GT(net_.OneWayLatency(1024), net_.OneWayLatency(64) + Microseconds(700));
+}
+
+TEST_F(NetworkTest, SendDeliversAfterLatency) {
+  SimTime delivered_at = -1;
+  int got = 0;
+  net_.RegisterHandler(b_, 1, [&](SiteId from, const Message& m, Responder) {
+    EXPECT_EQ(from, a_);
+    delivered_at = sim_.Now();
+    got = m.As<Ping>().value;
+  });
+  net_.Send(a_, b_, Msg(1, 42));
+  sim_.Run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(delivered_at, net_.OneWayLatency(64));
+}
+
+TEST_F(NetworkTest, RpcRoundTrip) {
+  net_.RegisterHandler(b_, 2, [&](SiteId, const Message& m, Responder r) {
+    r(Msg(2, m.As<Ping>().value * 2));
+  });
+  RpcResult result;
+  sim_.Spawn("caller", [&] { result = net_.Call(a_, b_, Msg(2, 21)); });
+  sim_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.reply.As<Ping>().value, 42);
+}
+
+TEST_F(NetworkTest, DeferredResponderRepliesLater) {
+  // The storage site queues a lock request and replies only when granted.
+  Responder saved;
+  net_.RegisterHandler(b_, 3, [&](SiteId, const Message&, Responder r) { saved = r; });
+  RpcResult result;
+  SimTime replied_at = 0;
+  sim_.Spawn("caller", [&] {
+    result = net_.Call(a_, b_, Msg(3, 0));
+    replied_at = sim_.Now();
+  });
+  sim_.Schedule(Milliseconds(100), [&] { saved(Msg(3, 7)); });
+  sim_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.reply.As<Ping>().value, 7);
+  EXPECT_GT(replied_at, Milliseconds(100));
+}
+
+TEST_F(NetworkTest, DuplicateRepliesIgnored) {
+  Responder saved;
+  net_.RegisterHandler(b_, 3, [&](SiteId, const Message&, Responder r) { saved = r; });
+  RpcResult result;
+  sim_.Spawn("caller", [&] { result = net_.Call(a_, b_, Msg(3, 0)); });
+  sim_.Schedule(Milliseconds(50), [&] {
+    saved(Msg(3, 1));
+    saved(Msg(3, 2));  // Dropped.
+  });
+  sim_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.reply.As<Ping>().value, 1);
+}
+
+TEST_F(NetworkTest, RpcTimesOutWithoutReply) {
+  net_.RegisterHandler(b_, 4, [&](SiteId, const Message&, Responder) {});
+  RpcResult result{true, {}};
+  sim_.Spawn("caller", [&] { result = net_.Call(a_, b_, Msg(4, 0), Milliseconds(500)); });
+  sim_.Run();
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(NetworkTest, CallToCrashedSiteFailsFast) {
+  net_.Crash(b_);
+  RpcResult result{true, {}};
+  sim_.Spawn("caller", [&] { result = net_.Call(a_, b_, Msg(1, 0)); });
+  sim_.Run();
+  EXPECT_FALSE(result.ok);
+}
+
+TEST_F(NetworkTest, CrashDuringCallFailsAfterDetection) {
+  net_.RegisterHandler(b_, 5, [&](SiteId, const Message&, Responder) {
+    // Never replies; the site dies while the call is outstanding.
+  });
+  RpcResult result{true, {}};
+  SimTime failed_at = 0;
+  sim_.Spawn("caller", [&] {
+    result = net_.Call(a_, b_, Msg(5, 0));
+    failed_at = sim_.Now();
+  });
+  sim_.Schedule(Milliseconds(20), [&] { net_.Crash(b_); });
+  sim_.Run();
+  EXPECT_FALSE(result.ok);
+  // Failure detected via the topology protocol, well before the timeout.
+  EXPECT_LT(failed_at, Milliseconds(500));
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossGroupTraffic) {
+  int received = 0;
+  net_.RegisterHandler(c_, 1, [&](SiteId, const Message&, Responder) { ++received; });
+  net_.SetPartitions({{a_, b_}, {c_}});
+  EXPECT_TRUE(net_.Reachable(a_, b_));
+  EXPECT_FALSE(net_.Reachable(a_, c_));
+  net_.Send(a_, c_, Msg(1, 0));
+  sim_.Run();
+  EXPECT_EQ(received, 0);
+  net_.ClearPartitions();
+  EXPECT_TRUE(net_.Reachable(a_, c_));
+  net_.Send(a_, c_, Msg(1, 0));
+  sim_.Run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, UnlistedSitesBecomeSingletons) {
+  net_.SetPartitions({{a_, b_}});
+  EXPECT_FALSE(net_.Reachable(a_, c_));
+  EXPECT_FALSE(net_.Reachable(b_, c_));
+  EXPECT_TRUE(net_.Reachable(c_, c_));
+}
+
+TEST_F(NetworkTest, TopologyCallbacksFireOnSurvivors) {
+  int a_calls = 0;
+  int b_calls = 0;
+  net_.OnTopologyChange(a_, [&] { ++a_calls; });
+  net_.OnTopologyChange(b_, [&] { ++b_calls; });
+  net_.Crash(b_);
+  sim_.Run();
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(b_calls, 0);  // Dead sites observe nothing.
+  net_.Reboot(b_);
+  sim_.Run();
+  EXPECT_EQ(a_calls, 2);
+  EXPECT_EQ(b_calls, 1);  // Rebooted site sees its own return.
+}
+
+TEST_F(NetworkTest, BootEpochAdvances) {
+  EXPECT_EQ(net_.BootEpoch(b_), 0u);
+  net_.Crash(b_);
+  net_.Reboot(b_);
+  EXPECT_EQ(net_.BootEpoch(b_), 1u);
+}
+
+TEST_F(NetworkTest, MessagesCounted) {
+  net_.RegisterHandler(b_, 2, [&](SiteId, const Message& m, Responder r) { r(m); });
+  sim_.Spawn("caller", [&] { net_.Call(a_, b_, Msg(2, 1)); });
+  sim_.Run();
+  EXPECT_EQ(net_.stats().Get("net.messages"), 2);  // Request + reply.
+}
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,114 @@
+// Byte-range algebra tests, including randomized property checks that back
+// the record-locking range arithmetic (section 3.2).
+
+#include "src/lock/range.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace locus {
+namespace {
+
+TEST(ByteRange, BasicPredicates) {
+  ByteRange a{10, 5};  // [10,15)
+  EXPECT_EQ(a.end(), 15);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE((ByteRange{3, 0}).empty());
+  EXPECT_TRUE(a.Overlaps(ByteRange{14, 1}));
+  EXPECT_FALSE(a.Overlaps(ByteRange{15, 1}));
+  EXPECT_FALSE(a.Overlaps(ByteRange{5, 5}));
+  EXPECT_TRUE(a.Contains(ByteRange{11, 3}));
+  EXPECT_FALSE(a.Contains(ByteRange{11, 5}));
+}
+
+TEST(ByteRange, IntersectAndSubtract) {
+  ByteRange a{10, 10};  // [10,20)
+  EXPECT_EQ(a.Intersect(ByteRange{15, 10}), (ByteRange{15, 5}));
+  EXPECT_TRUE(a.Intersect(ByteRange{20, 5}).empty());
+
+  auto pieces = a.Subtract(ByteRange{12, 3});  // remove [12,15)
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], (ByteRange{10, 2}));
+  EXPECT_EQ(pieces[1], (ByteRange{15, 5}));
+
+  pieces = a.Subtract(ByteRange{0, 100});
+  EXPECT_TRUE(pieces.empty());
+
+  pieces = a.Subtract(ByteRange{0, 5});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], a);
+}
+
+TEST(RangeSet, AddMergesOverlappingAndAdjacent) {
+  RangeSet set;
+  set.Add(ByteRange{0, 10});
+  set.Add(ByteRange{20, 10});
+  EXPECT_EQ(set.ranges().size(), 2u);
+  set.Add(ByteRange{10, 10});  // Bridges the gap exactly.
+  ASSERT_EQ(set.ranges().size(), 1u);
+  EXPECT_EQ(set.ranges()[0], (ByteRange{0, 30}));
+  EXPECT_EQ(set.TotalBytes(), 30);
+}
+
+TEST(RangeSet, RemoveSplits) {
+  RangeSet set;
+  set.Add(ByteRange{0, 30});
+  set.Remove(ByteRange{10, 5});
+  ASSERT_EQ(set.ranges().size(), 2u);
+  EXPECT_EQ(set.ranges()[0], (ByteRange{0, 10}));
+  EXPECT_EQ(set.ranges()[1], (ByteRange{15, 15}));
+  EXPECT_FALSE(set.Intersects(ByteRange{10, 5}));
+  EXPECT_TRUE(set.Intersects(ByteRange{9, 2}));
+}
+
+TEST(RangeSet, IntersectionsWith) {
+  RangeSet set;
+  set.Add(ByteRange{0, 10});
+  set.Add(ByteRange{20, 10});
+  auto pieces = set.IntersectionsWith(ByteRange{5, 20});
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], (ByteRange{5, 5}));
+  EXPECT_EQ(pieces[1], (ByteRange{20, 5}));
+}
+
+// Property test: a RangeSet mirrors a bitmap under random adds/removes.
+TEST(RangeSet, MatchesBitmapModel) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    RangeSet set;
+    bool model[200] = {false};
+    for (int step = 0; step < 60; ++step) {
+      int64_t start = rng.Range(0, 180);
+      int64_t len = rng.Range(1, 19);
+      bool add = rng.Chance(0.6);
+      if (add) {
+        set.Add(ByteRange{start, len});
+      } else {
+        set.Remove(ByteRange{start, len});
+      }
+      for (int64_t i = start; i < start + len; ++i) {
+        model[i] = add;
+      }
+      // Compare coverage byte by byte.
+      int64_t model_total = 0;
+      for (int i = 0; i < 200; ++i) {
+        bool in_model = model[i];
+        bool in_set = set.Intersects(ByteRange{i, 1});
+        ASSERT_EQ(in_model, in_set) << "trial " << trial << " step " << step << " byte " << i;
+        model_total += in_model ? 1 : 0;
+      }
+      ASSERT_EQ(model_total, set.TotalBytes());
+      // Invariant: stored ranges are sorted, disjoint, non-empty.
+      for (size_t k = 0; k < set.ranges().size(); ++k) {
+        ASSERT_FALSE(set.ranges()[k].empty());
+        if (k > 0) {
+          ASSERT_GT(set.ranges()[k].start, set.ranges()[k - 1].end());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace locus

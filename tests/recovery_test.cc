@@ -1,0 +1,368 @@
+// Failure and recovery tests (sections 4.3-4.4): site crashes before and
+// after the commit point, participant crashes, network partitions, topology-
+// change aborts, duplicate commit messages, and shadow-page reclamation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/locus/system.h"
+
+namespace locus {
+namespace {
+
+std::string Text(const std::vector<uint8_t>& b) { return {b.begin(), b.end()}; }
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : system_(3) {}
+
+  void MakeFileAt(SiteId site, const std::string& path, const std::string& content) {
+    system_.Spawn(site, "mk", [path, content](Syscalls& sys) {
+      ASSERT_EQ(sys.Creat(path), Err::kOk);
+      auto fd = sys.Open(path, {.read = true, .write = true});
+      ASSERT_TRUE(fd.ok());
+      ASSERT_EQ(sys.WriteString(fd.value, content), Err::kOk);
+      ASSERT_EQ(sys.Close(fd.value), Err::kOk);
+    });
+    system_.RunFor(Seconds(5));
+  }
+
+  std::string ReadFileAt(SiteId site, const std::string& path, int64_t n) {
+    std::string out = "<failed>";
+    system_.Spawn(site, "rd", [&, path, n](Syscalls& sys) {
+      for (int attempt = 0; attempt < 20; ++attempt) {
+        auto fd = sys.Open(path, {});
+        if (!fd.ok()) {
+          sys.Compute(Milliseconds(100));
+          continue;
+        }
+        auto data = sys.Read(fd.value, n);
+        sys.Close(fd.value);
+        if (data.ok()) {
+          out = Text(data.value);
+          return;
+        }
+        sys.Compute(Milliseconds(100));
+      }
+    });
+    system_.RunFor(Seconds(10));
+    return out;
+  }
+
+  System system_;
+};
+
+TEST_F(RecoveryTest, StorageSiteCrashAbortsUncommittedNonTransactionData) {
+  MakeFileAt(0, "/f", "stable data");
+  // A writer modifies the file but crashes before close/commit.
+  system_.Spawn(0, "writer", [&](Syscalls& sys) {
+    auto fd = sys.Open("/f", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "uncommitted"), Err::kOk);
+    sys.Compute(Seconds(60));  // Crash hits before this finishes.
+  });
+  system_.RunFor(Milliseconds(500));
+  system_.CrashSite(0);
+  system_.RunFor(Milliseconds(500));
+  system_.RebootSite(0);
+  system_.RunFor(Seconds(2));
+  EXPECT_EQ(ReadFileAt(0, "/f", 11), "stable data");
+}
+
+TEST_F(RecoveryTest, CoordinatorCrashBeforeCommitPointAborts) {
+  MakeFileAt(1, "/remote", "original!!");
+  // Transaction at site 0 writes the file stored at site 1, then site 0
+  // crashes mid-transaction (before EndTrans).
+  system_.Spawn(0, "txn", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto fd = sys.Open("/remote", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "phantom!!!"), Err::kOk);
+    sys.Compute(Seconds(60));  // Crash hits here.
+  });
+  system_.RunFor(Milliseconds(800));
+  system_.CrashSite(0);
+  // Site 1 learns of the topology change and aborts the foreign transaction.
+  system_.RunFor(Seconds(3));
+  EXPECT_EQ(ReadFileAt(1, "/remote", 10), "original!!");
+  EXPECT_GE(system_.stats().Get("net.topology_changes_seen"), 1);
+}
+
+TEST_F(RecoveryTest, CoordinatorCrashAfterCommitPointRecoversAndCommits) {
+  MakeFileAt(1, "/money", "0000000000");
+  // Run a transaction but crash the coordinator the instant EndTrans returns
+  // (commit point reached, phase two not yet run).
+  bool committed = false;
+  system_.Spawn(0, "txn", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto fd = sys.Open("/money", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "1111111111"), Err::kOk);
+    sys.Close(fd.value);
+    ASSERT_EQ(sys.EndTrans(), Err::kOk);
+    committed = true;
+    // Crash the coordinator right now, from inside the simulation.
+    sys.system().CrashSite(0);
+  });
+  system_.RunFor(Seconds(2));
+  ASSERT_TRUE(committed);
+  // Phase two died with the coordinator. Reboot: recovery finds the
+  // committed coordinator log and re-drives the second phase.
+  system_.RebootSite(0);
+  system_.RunFor(Seconds(5));
+  EXPECT_EQ(ReadFileAt(2, "/money", 10), "1111111111");
+  EXPECT_GE(system_.stats().Get("recovery.completed"), 1);
+}
+
+TEST_F(RecoveryTest, ParticipantCrashAfterPrepareStillCommits) {
+  MakeFileAt(1, "/part", "##########");
+  bool committed = false;
+  system_.Spawn(0, "txn", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto fd = sys.Open("/part", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "prepared!!"), Err::kOk);
+    sys.Close(fd.value);
+    ASSERT_EQ(sys.EndTrans(), Err::kOk);  // Commit point reached.
+    committed = true;
+    // Participant (site 1) crashes before phase two reaches it.
+    sys.system().CrashSite(1);
+  });
+  system_.RunFor(Seconds(2));
+  ASSERT_TRUE(committed);
+  system_.RunFor(Seconds(30));  // Coordinator keeps retrying phase two.
+  system_.RebootSite(1);
+  // Participant recovery + coordinator retry install the intentions from the
+  // prepare log.
+  system_.RunFor(Seconds(30));
+  EXPECT_EQ(ReadFileAt(1, "/part", 10), "prepared!!");
+}
+
+TEST_F(RecoveryTest, ParticipantRecoveryAsksCoordinatorPresumedAbort) {
+  MakeFileAt(1, "/ask", "original!!");
+  // Crash the participant after prepare but abort the transaction while the
+  // participant is down; on reboot it must learn the outcome and roll back.
+  system_.Spawn(0, "txn", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto fd = sys.Open("/ask", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "maybe?????"), Err::kOk);
+    sys.Close(fd.value);
+    // Crash the participant right before commit; prepare will fail and the
+    // transaction aborts.
+    sys.system().CrashSite(1);
+    EXPECT_EQ(sys.EndTrans(), Err::kAborted);
+  });
+  system_.RunFor(Seconds(10));
+  system_.RebootSite(1);
+  system_.RunFor(Seconds(10));
+  EXPECT_EQ(ReadFileAt(1, "/ask", 10), "original!!");
+}
+
+TEST_F(RecoveryTest, PartitionAbortsSpanningTransaction) {
+  MakeFileAt(2, "/span", "qqqqqqqqqq");
+  Err end_result = Err::kOk;
+  system_.Spawn(0, "txn", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto fd = sys.Open("/span", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "cutoff!!!!"), Err::kOk);
+    // Partition site 2 (the storage site) away mid-transaction.
+    sys.system().Partition({{0, 1}, {2}});
+    sys.Compute(Milliseconds(500));
+    end_result = sys.EndTrans();
+  });
+  system_.RunFor(Seconds(10));
+  EXPECT_EQ(end_result, Err::kAborted);
+  system_.HealPartitions();
+  system_.RunFor(Seconds(5));
+  EXPECT_EQ(ReadFileAt(2, "/span", 10), "qqqqqqqqqq");
+}
+
+TEST_F(RecoveryTest, ShadowPagesReclaimedAfterCrash) {
+  MakeFileAt(0, "/leak", std::string(64, 'x'));
+  Kernel& k = system_.kernel(0);
+  Volume* volume = k.volumes()[0];
+  int32_t free_before = volume->free_page_count();
+
+  // Uncommitted writes allocate shadow pages, then the site crashes.
+  system_.Spawn(0, "writer", [&](Syscalls& sys) {
+    auto fd = sys.Open("/leak", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, std::string(64, 'y')), Err::kOk);
+    sys.Compute(Seconds(60));
+  });
+  system_.RunFor(Milliseconds(500));
+  EXPECT_LT(volume->free_page_count(), free_before);  // Shadow pages held.
+  system_.CrashSite(0);
+  system_.RebootSite(0);
+  system_.RunFor(Seconds(2));
+  // Recovery rebuilt the allocation bitmap; orphan shadow pages reclaimed.
+  EXPECT_EQ(volume->free_page_count(), free_before);
+}
+
+TEST_F(RecoveryTest, DuplicateCommitMessagesAreIdempotent) {
+  MakeFileAt(1, "/dup", "aaaaaaaaaa");
+  TxnId txn;
+  system_.Spawn(0, "txn", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    txn = sys.CurrentTxn();
+    auto fd = sys.Open("/dup", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "bbbbbbbbbb"), Err::kOk);
+    sys.Close(fd.value);
+    ASSERT_EQ(sys.EndTrans(), Err::kOk);
+  });
+  system_.RunFor(Seconds(5));
+  ASSERT_EQ(ReadFileAt(2, "/dup", 10), "bbbbbbbbbb");
+  int64_t installs = system_.stats().Get("fs.commits_installed");
+  // Replay the commit message (recovery can send duplicates, section 4.4).
+  system_.Spawn(0, "dup", [&](Syscalls& sys) {
+    (void)sys;
+    // Direct kernel-level duplicate: deliver another commit for txn.
+  });
+  Kernel& participant = system_.kernel(1);
+  system_.sim().Spawn("dup-commit", [&] {
+    participant.txn_manager();  // No-op touch; the real call:
+  });
+  // Send the duplicate through the public path: ServeCommitTxn is private,
+  // so replay through the network.
+  Message msg;
+  msg.type = kCommitTxnReq;
+  msg.payload = CommitTxnRequest{txn};
+  system_.net().Send(0, 1, msg);
+  system_.RunFor(Seconds(2));
+  EXPECT_EQ(system_.stats().Get("fs.commits_installed"), installs);  // No re-install.
+  EXPECT_EQ(ReadFileAt(2, "/dup", 10), "bbbbbbbbbb");
+}
+
+TEST_F(RecoveryTest, CrashedReaderSiteDoesNotAffectStorage) {
+  MakeFileAt(0, "/solid", "solid data");
+  system_.Spawn(2, "reader", [&](Syscalls& sys) {
+    auto fd = sys.Open("/solid", {});
+    sys.Read(fd.value, 5);
+    sys.Compute(Seconds(60));
+  });
+  system_.RunFor(Milliseconds(500));
+  system_.CrashSite(2);
+  system_.RunFor(Seconds(2));
+  EXPECT_EQ(ReadFileAt(1, "/solid", 10), "solid data");
+}
+
+TEST_F(RecoveryTest, TransactionIdsUniqueAcrossReboots) {
+  TxnId before, after;
+  system_.Spawn(0, "t1", [&](Syscalls& sys) {
+    sys.BeginTrans();
+    before = sys.CurrentTxn();
+    sys.EndTrans();
+  });
+  system_.RunFor(Seconds(1));
+  system_.CrashSite(0);
+  system_.RebootSite(0);
+  system_.RunFor(Seconds(1));
+  system_.Spawn(0, "t2", [&](Syscalls& sys) {
+    sys.BeginTrans();
+    after = sys.CurrentTxn();
+    sys.EndTrans();
+  });
+  system_.RunFor(Seconds(1));
+  EXPECT_TRUE(before.valid());
+  EXPECT_TRUE(after.valid());
+  EXPECT_NE(before, after);
+  EXPECT_GT(after.epoch, before.epoch);  // Boot epoch guarantees uniqueness.
+}
+
+
+TEST_F(RecoveryTest, RedoProtectedByRecoveredLocks) {
+  // Regression for a lost-update window: a transaction commits (commit point
+  // reached), the participant crashes before installing, and a NEW
+  // transaction touches the record right as the participant reboots. The
+  // recovery must re-acquire the committed transaction's locks from the
+  // prepare log (section 4.2 stores "intentions lists and lock lists"), so
+  // the new transaction can only see the post-commit value.
+  MakeFileAt(1, "/redo", "0000000000");
+  system_.Spawn(0, "writer", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto fd = sys.Open("/redo", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "1111111111"), Err::kOk);
+    sys.Close(fd.value);
+    ASSERT_EQ(sys.EndTrans(), Err::kOk);   // Commit point.
+    sys.system().CrashSite(1);             // Participant dies pre-install.
+  });
+  system_.RunFor(Seconds(1));
+  system_.RebootSite(1);
+  // A rival transaction reads and rewrites the record immediately.
+  std::string observed;
+  system_.Spawn(2, "rival", [&](Syscalls& sys) {
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      if (sys.BeginTrans() != Err::kOk) {
+        continue;
+      }
+      auto fd = sys.Open("/redo", {.read = true, .write = true});
+      bool ok = fd.ok();
+      if (ok) {
+        auto r = sys.Lock(fd.value, 10, LockOp::kExclusive, {.wait = true});
+        ok = r.err == Err::kOk;
+      }
+      if (ok) {
+        auto data = sys.Read(fd.value, 10);
+        ok = data.ok();
+        if (ok) {
+          observed.assign(data.value.begin(), data.value.end());
+        }
+      }
+      if (fd.ok()) {
+        sys.Close(fd.value);
+      }
+      if (ok && sys.EndTrans() == Err::kOk) {
+        return;
+      }
+      if (sys.InTransaction()) {
+        sys.AbortTrans();
+      }
+      sys.Compute(Milliseconds(100));
+    }
+  });
+  system_.RunFor(Seconds(60));
+  // Never the pre-commit value: the redo's recovered lock serializes us
+  // after the installation.
+  EXPECT_EQ(observed, "1111111111");
+}
+
+TEST_F(RecoveryTest, WorkingPagePatchedWhenRedoRacesNewWriter) {
+  // Regression: while a crashed participant redoes a committed install, a
+  // NEW writer of a DIFFERENT record on the same page snapshots the page
+  // into a working page; the install must patch the working page so the
+  // committed bytes are not frozen out.
+  MakeFileAt(1, "/page", std::string(64, '0'));  // Two records, one page.
+  system_.Spawn(0, "committer", [&](Syscalls& sys) {
+    ASSERT_EQ(sys.BeginTrans(), Err::kOk);
+    auto fd = sys.Open("/page", {.read = true, .write = true});
+    ASSERT_EQ(sys.WriteString(fd.value, "AAAAAAAA"), Err::kOk);  // Record 0.
+    sys.Close(fd.value);
+    ASSERT_EQ(sys.EndTrans(), Err::kOk);
+    sys.system().CrashSite(1);
+  });
+  system_.RunFor(Seconds(1));
+  system_.RebootSite(1);
+  // Immediately, a writer updates record 1 (bytes 32..40) — different range,
+  // not blocked by the recovered locks — creating a working page.
+  system_.Spawn(2, "other-writer", [&](Syscalls& sys) {
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      auto fd = sys.Open("/page", {.read = true, .write = true});
+      if (!fd.ok()) {
+        sys.Compute(Milliseconds(50));
+        continue;
+      }
+      sys.Seek(fd.value, 32);
+      Err err = sys.WriteString(fd.value, "BBBBBBBB");
+      sys.Close(fd.value);
+      if (err == Err::kOk) {
+        return;
+      }
+      sys.Compute(Milliseconds(50));
+    }
+  });
+  system_.RunFor(Seconds(60));
+  // Both the redone record AND the new write must be present.
+  std::string content = ReadFileAt(2, "/page", 40);
+  ASSERT_GE(content.size(), 40u);
+  EXPECT_EQ(content.substr(0, 8), "AAAAAAAA");
+  EXPECT_EQ(content.substr(32, 8), "BBBBBBBB");
+}
+
+}  // namespace
+}  // namespace locus

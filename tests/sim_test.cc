@@ -1,0 +1,238 @@
+// Tests for the discrete-event engine: ordering, virtual time, cooperative
+// processes, wait queues, determinism, and forced termination.
+
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace locus {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(Milliseconds(1), 1000);
+  EXPECT_EQ(Seconds(1), 1000 * 1000);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(42)), 42.0);
+}
+
+TEST(SimTime, InstructionCostMatchesPaperCalibration) {
+  // 750 instructions should land near the paper's 1.5-2 ms local lock cost.
+  SimTime lock_cost = InstructionCost(750);
+  EXPECT_GE(lock_cost, Microseconds(1400));
+  EXPECT_LE(lock_cost, Milliseconds(2));
+  // 9450 instructions should land near the 21 ms non-overlap commit service.
+  SimTime commit_cost = InstructionCost(9450);
+  EXPECT_GE(commit_cost, Milliseconds(20));
+  EXPECT_LE(commit_cost, Milliseconds(22));
+}
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Milliseconds(30), [&] { order.push_back(3); });
+  sim.Schedule(Milliseconds(10), [&] { order.push_back(1); });
+  sim.Schedule(Milliseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Milliseconds(30));
+}
+
+TEST(Simulation, TiesBreakInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulation, ProcessSleepAdvancesVirtualTime) {
+  Simulation sim;
+  SimTime observed = -1;
+  sim.Spawn("sleeper", [&] {
+    sim.Sleep(Milliseconds(7));
+    observed = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(observed, Milliseconds(7));
+}
+
+TEST(Simulation, ProcessesInterleaveAtBlockingPoints) {
+  Simulation sim;
+  std::vector<std::string> log;
+  sim.Spawn("a", [&] {
+    log.push_back("a1");
+    sim.Sleep(Milliseconds(10));
+    log.push_back("a2");
+  });
+  sim.Spawn("b", [&] {
+    log.push_back("b1");
+    sim.Sleep(Milliseconds(5));
+    log.push_back("b2");
+  });
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a1", "b1", "b2", "a2"}));
+}
+
+TEST(Simulation, WaitQueueBlocksUntilNotified) {
+  Simulation sim;
+  WaitQueue queue(&sim);
+  SimTime woke_at = -1;
+  sim.Spawn("waiter", [&] {
+    queue.Wait();
+    woke_at = sim.Now();
+  });
+  sim.Schedule(Milliseconds(25), [&] { queue.NotifyOne(); });
+  sim.Run();
+  EXPECT_EQ(woke_at, Milliseconds(25));
+  EXPECT_EQ(sim.blocked_process_count(), 0);
+}
+
+TEST(Simulation, NotifyAllWakesEveryWaiter) {
+  Simulation sim;
+  WaitQueue queue(&sim);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.Spawn("w" + std::to_string(i), [&] {
+      queue.Wait();
+      ++woken;
+    });
+  }
+  sim.Schedule(Milliseconds(1), [&] { queue.NotifyAll(); });
+  sim.Run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Simulation, BlockedProcessReportedWhenNeverNotified) {
+  Simulation sim;
+  WaitQueue queue(&sim);
+  sim.Spawn("stuck", [&] { queue.Wait(); });
+  sim.Run();
+  EXPECT_EQ(sim.blocked_process_count(), 1);
+}
+
+TEST(Simulation, KillUnwindsBlockedProcess) {
+  Simulation sim;
+  WaitQueue queue(&sim);
+  bool cleaned_up = false;
+  bool reached_end = false;
+  SimProcess* victim = sim.Spawn("victim", [&] {
+    struct Guard {
+      bool* flag;
+      ~Guard() { *flag = true; }
+    } guard{&cleaned_up};
+    queue.Wait();
+    reached_end = true;
+  });
+  sim.Schedule(Milliseconds(10), [&] { sim.Kill(victim); });
+  sim.Run();
+  EXPECT_TRUE(cleaned_up);   // RAII ran during unwind.
+  EXPECT_FALSE(reached_end);  // Body never resumed normally.
+  EXPECT_EQ(victim->state(), SimProcess::State::kFinished);
+}
+
+TEST(Simulation, KillIsIdempotentAndStaleWakeupsAreHarmless) {
+  Simulation sim;
+  WaitQueue queue(&sim);
+  SimProcess* victim = sim.Spawn("victim", [&] { queue.Wait(); });
+  sim.Schedule(Milliseconds(1), [&] {
+    sim.Kill(victim);
+    sim.Kill(victim);
+  });
+  sim.Schedule(Milliseconds(2), [&] { queue.NotifyAll(); });  // Stale wake-up.
+  sim.Run();
+  EXPECT_EQ(victim->state(), SimProcess::State::kFinished);
+}
+
+TEST(Simulation, RunForStopsAtDeadline) {
+  Simulation sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    sim.Schedule(Milliseconds(10), tick);
+  };
+  sim.Schedule(Milliseconds(10), tick);
+  sim.RunFor(Milliseconds(55));
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.Now(), Milliseconds(55));
+}
+
+TEST(Simulation, BurnInstructionsAdvancesClock) {
+  Simulation sim;
+  sim.Spawn("cpu", [&] { sim.BurnInstructions(kInstructionsPerMs * 3); });
+  sim.Run();
+  EXPECT_EQ(sim.Now(), Milliseconds(3));
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<int64_t> trace;
+    for (int i = 0; i < 4; ++i) {
+      sim.Spawn("p" + std::to_string(i), [&, i] {
+        for (int j = 0; j < 5; ++j) {
+          sim.Sleep(Microseconds(static_cast<int64_t>(sim.rng().Below(5000))));
+          trace.push_back(sim.Now() * 16 + i);
+        }
+      });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(Simulation, TeardownWithBlockedProcessesDoesNotHang) {
+  auto sim = std::make_unique<Simulation>();
+  WaitQueue queue(sim.get());
+  for (int i = 0; i < 3; ++i) {
+    sim->Spawn("stuck" + std::to_string(i), [&] { queue.Wait(); });
+  }
+  sim->Run();
+  sim.reset();  // Must join all threads without deadlock.
+  SUCCEED();
+}
+
+TEST(Rng, DeterministicAndRoughlyUniform) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(1);
+  int buckets[10] = {0};
+  for (int i = 0; i < 10000; ++i) {
+    buckets[r.Below(10)]++;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GT(buckets[i], 800);
+    EXPECT_LT(buckets[i], 1200);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Range(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 2;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace locus

@@ -1,0 +1,62 @@
+// Tests for the trace log and the stat/latency accumulators.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace locus {
+namespace {
+
+TEST(TraceLog, RecordsFormattedMessages) {
+  TraceLog log;
+  log.Log(Milliseconds(5), "site0", "value=%d name=%s", 42, "x");
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].time, Milliseconds(5));
+  EXPECT_EQ(log.records()[0].origin, "site0");
+  EXPECT_EQ(log.records()[0].message, "value=42 name=x");
+}
+
+TEST(TraceLog, DisabledLogRecordsNothing) {
+  TraceLog log;
+  log.set_enabled(false);
+  log.Log(0, "x", "dropped");
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(TraceLog, CountContaining) {
+  TraceLog log;
+  log.Log(0, "a", "txn committed");
+  log.Log(0, "b", "txn aborted");
+  log.Log(0, "c", "txn committed again");
+  EXPECT_EQ(log.CountContaining("committed"), 2);
+  EXPECT_EQ(log.CountContaining("nothing"), 0);
+  log.Clear();
+  EXPECT_EQ(log.CountContaining("committed"), 0);
+}
+
+TEST(StatRegistry, AddGetReset) {
+  StatRegistry stats;
+  EXPECT_EQ(stats.Get("x"), 0);
+  stats.Add("x");
+  stats.Add("x", 4);
+  EXPECT_EQ(stats.Get("x"), 5);
+  stats.Reset();
+  EXPECT_EQ(stats.Get("x"), 0);
+}
+
+TEST(LatencyStat, TracksMinMaxMean) {
+  LatencyStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_DOUBLE_EQ(stat.MeanMs(), 0.0);
+  stat.Add(Milliseconds(10));
+  stat.Add(Milliseconds(20));
+  stat.Add(Milliseconds(30));
+  EXPECT_EQ(stat.count(), 3);
+  EXPECT_EQ(stat.min(), Milliseconds(10));
+  EXPECT_EQ(stat.max(), Milliseconds(30));
+  EXPECT_DOUBLE_EQ(stat.MeanMs(), 20.0);
+}
+
+}  // namespace
+}  // namespace locus
