@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_reliability.dir/chaos_reliability.cc.o"
+  "CMakeFiles/chaos_reliability.dir/chaos_reliability.cc.o.d"
+  "chaos_reliability"
+  "chaos_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

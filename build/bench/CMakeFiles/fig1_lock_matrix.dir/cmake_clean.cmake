@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_lock_matrix.dir/fig1_lock_matrix.cc.o"
+  "CMakeFiles/fig1_lock_matrix.dir/fig1_lock_matrix.cc.o.d"
+  "fig1_lock_matrix"
+  "fig1_lock_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lock_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

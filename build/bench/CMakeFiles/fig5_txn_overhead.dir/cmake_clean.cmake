@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_txn_overhead.dir/fig5_txn_overhead.cc.o"
+  "CMakeFiles/fig5_txn_overhead.dir/fig5_txn_overhead.cc.o.d"
+  "fig5_txn_overhead"
+  "fig5_txn_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_txn_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

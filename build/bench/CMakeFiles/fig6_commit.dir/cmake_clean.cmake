@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_commit.dir/fig6_commit.cc.o"
+  "CMakeFiles/fig6_commit.dir/fig6_commit.cc.o.d"
+  "fig6_commit"
+  "fig6_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

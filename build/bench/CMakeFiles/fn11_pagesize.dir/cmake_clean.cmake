@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn11_pagesize.dir/fn11_pagesize.cc.o"
+  "CMakeFiles/fn11_pagesize.dir/fn11_pagesize.cc.o.d"
+  "fn11_pagesize"
+  "fn11_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fn11_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_throughput.dir/scale_throughput.cc.o"
+  "CMakeFiles/scale_throughput.dir/scale_throughput.cc.o.d"
+  "scale_throughput"
+  "scale_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

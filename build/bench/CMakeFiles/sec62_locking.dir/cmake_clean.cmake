@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_locking.dir/sec62_locking.cc.o"
+  "CMakeFiles/sec62_locking.dir/sec62_locking.cc.o.d"
+  "sec62_locking"
+  "sec62_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_shadow_vs_log.dir/sec6_shadow_vs_log.cc.o"
+  "CMakeFiles/sec6_shadow_vs_log.dir/sec6_shadow_vs_log.cc.o.d"
+  "sec6_shadow_vs_log"
+  "sec6_shadow_vs_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_shadow_vs_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

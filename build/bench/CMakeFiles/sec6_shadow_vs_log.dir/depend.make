@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6_shadow_vs_log.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec71_nested.dir/sec71_nested.cc.o"
+  "CMakeFiles/sec71_nested.dir/sec71_nested.cc.o.d"
+  "sec71_nested"
+  "sec71_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec71_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb.dir/minidb.cpp.o"
+  "CMakeFiles/minidb.dir/minidb.cpp.o.d"
+  "minidb"
+  "minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

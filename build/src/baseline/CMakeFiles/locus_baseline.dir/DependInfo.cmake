@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/nested_txn.cc" "src/baseline/CMakeFiles/locus_baseline.dir/nested_txn.cc.o" "gcc" "src/baseline/CMakeFiles/locus_baseline.dir/nested_txn.cc.o.d"
+  "/root/repo/src/baseline/wal_store.cc" "src/baseline/CMakeFiles/locus_baseline.dir/wal_store.cc.o" "gcc" "src/baseline/CMakeFiles/locus_baseline.dir/wal_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/locus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/locus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locus_lock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

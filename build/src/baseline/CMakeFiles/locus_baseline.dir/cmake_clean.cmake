@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_baseline.dir/nested_txn.cc.o"
+  "CMakeFiles/locus_baseline.dir/nested_txn.cc.o.d"
+  "CMakeFiles/locus_baseline.dir/wal_store.cc.o"
+  "CMakeFiles/locus_baseline.dir/wal_store.cc.o.d"
+  "liblocus_baseline.a"
+  "liblocus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_dbkit.dir/table.cc.o"
+  "CMakeFiles/locus_dbkit.dir/table.cc.o.d"
+  "liblocus_dbkit.a"
+  "liblocus_dbkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_dbkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/buffer_pool.cc" "src/fs/CMakeFiles/locus_fs.dir/buffer_pool.cc.o" "gcc" "src/fs/CMakeFiles/locus_fs.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/fs/catalog.cc" "src/fs/CMakeFiles/locus_fs.dir/catalog.cc.o" "gcc" "src/fs/CMakeFiles/locus_fs.dir/catalog.cc.o.d"
+  "/root/repo/src/fs/file_store.cc" "src/fs/CMakeFiles/locus_fs.dir/file_store.cc.o" "gcc" "src/fs/CMakeFiles/locus_fs.dir/file_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/locus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/locus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/locus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locus_lock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

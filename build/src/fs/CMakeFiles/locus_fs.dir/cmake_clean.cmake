@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_fs.dir/buffer_pool.cc.o"
+  "CMakeFiles/locus_fs.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/locus_fs.dir/catalog.cc.o"
+  "CMakeFiles/locus_fs.dir/catalog.cc.o.d"
+  "CMakeFiles/locus_fs.dir/file_store.cc.o"
+  "CMakeFiles/locus_fs.dir/file_store.cc.o.d"
+  "liblocus_fs.a"
+  "liblocus_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

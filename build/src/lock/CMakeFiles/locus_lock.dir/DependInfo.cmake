@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/deadlock.cc" "src/lock/CMakeFiles/locus_lock.dir/deadlock.cc.o" "gcc" "src/lock/CMakeFiles/locus_lock.dir/deadlock.cc.o.d"
+  "/root/repo/src/lock/lock_list.cc" "src/lock/CMakeFiles/locus_lock.dir/lock_list.cc.o" "gcc" "src/lock/CMakeFiles/locus_lock.dir/lock_list.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/lock/CMakeFiles/locus_lock.dir/lock_manager.cc.o" "gcc" "src/lock/CMakeFiles/locus_lock.dir/lock_manager.cc.o.d"
+  "/root/repo/src/lock/range.cc" "src/lock/CMakeFiles/locus_lock.dir/range.cc.o" "gcc" "src/lock/CMakeFiles/locus_lock.dir/range.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/locus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

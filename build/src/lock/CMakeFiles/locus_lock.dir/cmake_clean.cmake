@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_lock.dir/deadlock.cc.o"
+  "CMakeFiles/locus_lock.dir/deadlock.cc.o.d"
+  "CMakeFiles/locus_lock.dir/lock_list.cc.o"
+  "CMakeFiles/locus_lock.dir/lock_list.cc.o.d"
+  "CMakeFiles/locus_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/locus_lock.dir/lock_manager.cc.o.d"
+  "CMakeFiles/locus_lock.dir/range.cc.o"
+  "CMakeFiles/locus_lock.dir/range.cc.o.d"
+  "liblocus_lock.a"
+  "liblocus_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

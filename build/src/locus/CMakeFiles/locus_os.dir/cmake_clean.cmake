@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_os.dir/kernel.cc.o"
+  "CMakeFiles/locus_os.dir/kernel.cc.o.d"
+  "CMakeFiles/locus_os.dir/kernel_syscalls.cc.o"
+  "CMakeFiles/locus_os.dir/kernel_syscalls.cc.o.d"
+  "CMakeFiles/locus_os.dir/kernel_txn.cc.o"
+  "CMakeFiles/locus_os.dir/kernel_txn.cc.o.d"
+  "CMakeFiles/locus_os.dir/system.cc.o"
+  "CMakeFiles/locus_os.dir/system.cc.o.d"
+  "liblocus_os.a"
+  "liblocus_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_net.dir/network.cc.o"
+  "CMakeFiles/locus_net.dir/network.cc.o.d"
+  "liblocus_net.a"
+  "liblocus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_proc.dir/process.cc.o"
+  "CMakeFiles/locus_proc.dir/process.cc.o.d"
+  "liblocus_proc.a"
+  "liblocus_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

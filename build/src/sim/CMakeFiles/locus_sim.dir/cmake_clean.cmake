@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_sim.dir/simulation.cc.o"
+  "CMakeFiles/locus_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/locus_sim.dir/trace.cc.o"
+  "CMakeFiles/locus_sim.dir/trace.cc.o.d"
+  "liblocus_sim.a"
+  "liblocus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_storage.dir/disk.cc.o"
+  "CMakeFiles/locus_storage.dir/disk.cc.o.d"
+  "CMakeFiles/locus_storage.dir/volume.cc.o"
+  "CMakeFiles/locus_storage.dir/volume.cc.o.d"
+  "liblocus_storage.a"
+  "liblocus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

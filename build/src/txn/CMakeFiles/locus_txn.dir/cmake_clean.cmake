@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_txn.dir/transaction_manager.cc.o"
+  "CMakeFiles/locus_txn.dir/transaction_manager.cc.o.d"
+  "liblocus_txn.a"
+  "liblocus_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_workload.dir/debit_credit.cc.o"
+  "CMakeFiles/locus_workload.dir/debit_credit.cc.o.d"
+  "liblocus_workload.a"
+  "liblocus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

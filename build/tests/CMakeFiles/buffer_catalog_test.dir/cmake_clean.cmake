@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_catalog_test.dir/buffer_catalog_test.cc.o"
+  "CMakeFiles/buffer_catalog_test.dir/buffer_catalog_test.cc.o.d"
+  "buffer_catalog_test"
+  "buffer_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

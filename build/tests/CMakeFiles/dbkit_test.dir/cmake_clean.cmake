@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbkit_test.dir/dbkit_test.cc.o"
+  "CMakeFiles/dbkit_test.dir/dbkit_test.cc.o.d"
+  "dbkit_test"
+  "dbkit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_test.dir/deadlock_test.cc.o"
+  "CMakeFiles/deadlock_test.dir/deadlock_test.cc.o.d"
+  "deadlock_test"
+  "deadlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_list_test.dir/lock_list_test.cc.o"
+  "CMakeFiles/lock_list_test.dir/lock_list_test.cc.o.d"
+  "lock_list_test"
+  "lock_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nested_txn_test.cc" "tests/CMakeFiles/nested_txn_test.dir/nested_txn_test.cc.o" "gcc" "tests/CMakeFiles/nested_txn_test.dir/nested_txn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locus/CMakeFiles/locus_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/locus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/locus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbkit/CMakeFiles/locus_dbkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/locus_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/locus_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/locus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/locus_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/locus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/locus_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/locus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

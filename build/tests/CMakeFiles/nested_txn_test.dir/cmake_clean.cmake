@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_txn_test.dir/nested_txn_test.cc.o"
+  "CMakeFiles/nested_txn_test.dir/nested_txn_test.cc.o.d"
+  "nested_txn_test"
+  "nested_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

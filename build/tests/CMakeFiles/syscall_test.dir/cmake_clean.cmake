@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_test.dir/syscall_test.cc.o"
+  "CMakeFiles/syscall_test.dir/syscall_test.cc.o.d"
+  "syscall_test"
+  "syscall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_edge_test.dir/txn_edge_test.cc.o"
+  "CMakeFiles/txn_edge_test.dir/txn_edge_test.cc.o.d"
+  "txn_edge_test"
+  "txn_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
