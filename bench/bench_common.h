@@ -2,28 +2,34 @@
 // regenerates one table or figure from the paper's evaluation (section 6),
 // printing a paper-style table from the simulation and then running any
 // registered google-benchmark micro-benchmarks of the hot code paths.
+//
+// Passing --json=<path> to a bench binary additionally writes the headline
+// numbers as a JSON array of {bench, config, txn_per_s, wall_ms} rows, for
+// the regression harness (scripts/ci.sh) and BENCH_scale.json.
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "src/locus/system.h"
 
 namespace locus {
 namespace bench {
 
-// Snapshot of the global counters, for before/after differencing.
+// Snapshot of the global counters, for before/after differencing. Snapshots
+// the registry's dense value vector: counter ids are stable across the run,
+// so a counter interned after the snapshot simply reads as base 0.
 class StatDelta {
  public:
-  explicit StatDelta(StatRegistry* stats) : stats_(stats), base_(stats->counters()) {}
+  explicit StatDelta(StatRegistry* stats) : stats_(stats), base_(stats->values()) {}
 
   int64_t Get(const std::string& name) const {
-    auto it = base_.find(name);
-    int64_t before = it == base_.end() ? 0 : it->second;
-    return stats_->Get(name) - before;
+    StatRegistry::StatId id = stats_->Intern(name);
+    int64_t before = static_cast<size_t>(id) < base_.size() ? base_[id] : 0;
+    return stats_->Get(id) - before;
   }
 
   // Sum of all write counters matching the Figure 5 log/data categories.
@@ -31,7 +37,7 @@ class StatDelta {
 
  private:
   StatRegistry* stats_;
-  std::map<std::string, int64_t> base_;
+  std::vector<int64_t> base_;
 };
 
 inline void PrintHeader(const char* title, const char* paper_ref) {
@@ -57,6 +63,64 @@ inline void MakeCommittedFile(System& system, SiteId site, const std::string& pa
   });
   system.RunFor(Seconds(30));
 }
+
+// Removes a `--json=<path>` argument from argv (google-benchmark rejects
+// flags it does not know) and returns the path, or "" if absent.
+inline std::string ExtractJsonPath(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+// Machine-readable result rows, written when --json=<path> was passed.
+class JsonReport {
+ public:
+  void Add(const std::string& bench, const std::string& config, double txn_per_s,
+           double wall_ms) {
+    rows_.push_back(Row{bench, config, txn_per_s, wall_ms});
+  }
+
+  // Writes the collected rows as a JSON array; no-op with an empty path.
+  void WriteTo(const std::string& path) const {
+    if (path.empty()) {
+      return;
+    }
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"config\": \"%s\", \"txn_per_s\": %.2f, "
+                   "\"wall_ms\": %.1f}%s\n",
+                   r.bench.c_str(), r.config.c_str(), r.txn_per_s, r.wall_ms,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::string config;
+    double txn_per_s;
+    double wall_ms;
+  };
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace locus

@@ -7,8 +7,14 @@
 // workload while scaling the cluster, and separately sweeps the fraction of
 // transactions that stay branch-local (locality is what the paper's design
 // banks on: local locks cost ~2 ms, remote ones ~18 ms).
+//
+// With --json=<path> the per-config results (simulated txn/s plus host
+// wall-clock per run) are written for the benchmark-regression harness.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/workload/debit_credit.h"
@@ -30,32 +36,48 @@ DebitCreditResults RunWorkload(int sites, int tellers, double local_fraction) {
   return workload.Execute();
 }
 
-void RunTables() {
+void RunTables(JsonReport* report) {
   PrintHeader("Transaction throughput scaling (extension analysis)",
               "the section 1 workload: database operations on many small machines");
 
   printf("cluster scaling, 3 tellers/site, uniform branch choice\n");
-  printf("%-8s %-8s %10s %10s %12s %12s\n", "sites", "tellers", "commits", "retries",
-         "makespan s", "txn/s");
+  printf("%-8s %-8s %10s %10s %12s %12s %10s\n", "sites", "tellers", "commits", "retries",
+         "makespan s", "txn/s", "wall ms");
   printf("------------------------------------------------------------------\n");
-  for (int sites : {1, 2, 3, 4, 6}) {
+  for (int sites : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    auto t0 = std::chrono::steady_clock::now();
     DebitCreditResults r = RunWorkload(sites, sites * 3, 0.0);
-    printf("%-8d %-8d %10d %10d %12.1f %12.1f\n", sites, sites * 3, r.committed,
-           r.aborted_attempts, ToMilliseconds(r.makespan) / 1000.0, r.throughput_tps());
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    printf("%-8d %-8d %10d %10d %12.1f %12.1f %10.1f\n", sites, sites * 3, r.committed,
+           r.aborted_attempts, ToMilliseconds(r.makespan) / 1000.0, r.throughput_tps(),
+           wall_ms);
     if (!r.conserved()) {
       printf("  !! CONSERVATION VIOLATED: %lld != %lld\n",
              static_cast<long long>(r.audited_total),
              static_cast<long long>(r.expected_total));
     }
+    report->Add("scale_throughput",
+                "sites=" + std::to_string(sites) + ",tellers=" + std::to_string(sites * 3) +
+                    ",local=0.0",
+                r.throughput_tps(), wall_ms);
   }
 
   printf("\nlocality sweep, 3 sites, 9 tellers\n");
   printf("%-16s %10s %12s %12s\n", "local fraction", "commits", "makespan s", "txn/s");
   printf("------------------------------------------------------------------\n");
   for (double local : {0.0, 0.5, 0.9, 1.0}) {
+    auto t0 = std::chrono::steady_clock::now();
     DebitCreditResults r = RunWorkload(3, 9, local);
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
     printf("%-16.1f %10d %12.1f %12.1f\n", local, r.committed,
            ToMilliseconds(r.makespan) / 1000.0, r.throughput_tps());
+    char cfg[64];
+    snprintf(cfg, sizeof(cfg), "sites=3,tellers=9,local=%.1f", local);
+    report->Add("scale_throughput_locality", cfg, r.throughput_tps(), wall_ms);
   }
   printf("------------------------------------------------------------------\n");
   printf("expected shape: throughput grows with sites (more disks and CPUs),\n");
@@ -75,7 +97,10 @@ BENCHMARK(BM_DebitCreditWorkload)->Arg(2)->Unit(benchmark::kMillisecond);
 }  // namespace locus
 
 int main(int argc, char** argv) {
-  locus::bench::RunTables();
+  std::string json_path = locus::bench::ExtractJsonPath(&argc, argv);
+  locus::bench::JsonReport report;
+  locus::bench::RunTables(&report);
+  report.WriteTo(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

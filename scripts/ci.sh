@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: regular build + full test suite, then an AddressSanitizer build
+# running the randomized lock-index differential test (the data structure
+# most recently rewritten for performance).
+#
+# Usage: scripts/ci.sh [jobs]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== build (RelWithDebInfo) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "=== ctest ==="
+(cd build && ctest --output-on-failure)
+
+echo "=== benchmark regression snapshot ==="
+./build/bench/scale_throughput --json=build/BENCH_scale.json \
+    --benchmark_filter=NONE >/dev/null
+cat build/BENCH_scale.json
+
+echo "=== ASAN build + lock differential test ==="
+cmake -B build-asan -S . -DLOCUS_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target lock_index_test
+./build-asan/tests/lock_index_test
+
+echo "=== ci.sh: all green ==="

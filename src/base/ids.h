@@ -49,6 +49,15 @@ struct FileId {
 
 inline constexpr FileId kNoFile{};
 
+// Hash for unordered containers keyed by FileId (lock tables, buffer pools).
+struct FileIdHash {
+  size_t operator()(const FileId& f) const {
+    uint64_t packed = (static_cast<uint64_t>(static_cast<uint32_t>(f.volume)) << 32) |
+                      static_cast<uint32_t>(f.ino);
+    return std::hash<uint64_t>()(packed);
+  }
+};
+
 inline std::string ToString(const FileId& f) {
   return "file:" + std::to_string(f.volume) + "/" + std::to_string(f.ino);
 }

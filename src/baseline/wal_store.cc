@@ -88,7 +88,7 @@ void WalStore::CommitWriter(const FileId& file, const LockOwner& writer) {
   int32_t ps = volume_->page_size();
   log_fill_bytes_ += bytes;
   while (log_fill_bytes_ > 0) {
-    volume_->disk().WriteSequential(1, PageData(ps, 0), "wal_log");
+    volume_->disk().WriteSequential(1, MakePage(PageData(ps, 0)), "wal_log");
     stats_->Add("wal.log_writes");
     log_fill_bytes_ -= ps;
   }
@@ -134,7 +134,7 @@ void WalStore::ApplyToStable(const RedoRecord& rec) {
     std::memcpy(page.data() + (overlap.start - span.start),
                 rec.bytes.data() + (overlap.start - rec.offset), overlap.length);
     // In-place update: a random write per touched page.
-    volume_->disk().Write(state.inode.pages[slot], std::move(page), "wal_inplace");
+    volume_->disk().Write(state.inode.pages[slot], MakePage(std::move(page)), "wal_inplace");
     stats_->Add("wal.inplace_writes");
   }
 }

@@ -2,40 +2,33 @@
 
 namespace locus {
 
-std::optional<PageData> BufferPool::Lookup(const Key& key) {
+PageRef BufferPool::Lookup(const Key& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
-    return std::nullopt;
+    return nullptr;
   }
   ++hits_;
-  Touch(key);
-  return it->second.first;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
 }
 
-void BufferPool::Touch(const Key& key) {
-  auto it = entries_.find(key);
-  lru_.erase(it->second.second);
-  lru_.push_front(key);
-  it->second.second = lru_.begin();
-}
-
-void BufferPool::Insert(const Key& key, PageData data) {
+void BufferPool::Insert(const Key& key, PageRef data) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    it->second.first = std::move(data);
-    Touch(key);
+    it->second->second = std::move(data);
+    lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   while (static_cast<int32_t>(entries_.size()) >= capacity_ && !lru_.empty()) {
-    entries_.erase(lru_.back());
+    entries_.erase(lru_.back().first);
     lru_.pop_back();
   }
   if (capacity_ <= 0) {
     return;
   }
-  lru_.push_front(key);
-  entries_[key] = {std::move(data), lru_.begin()};
+  lru_.emplace_front(key, std::move(data));
+  entries_[key] = lru_.begin();
 }
 
 void BufferPool::Erase(const Key& key) {
@@ -43,14 +36,14 @@ void BufferPool::Erase(const Key& key) {
   if (it == entries_.end()) {
     return;
   }
-  lru_.erase(it->second.second);
+  lru_.erase(it->second);
   entries_.erase(it);
 }
 
 void BufferPool::InvalidateFile(const FileId& file) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.file == file) {
-      lru_.erase(it->second.second);
+      lru_.erase(it->second);
       it = entries_.erase(it);
     } else {
       ++it;

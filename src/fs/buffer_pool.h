@@ -4,14 +4,19 @@
 // a page unless a clean copy is still buffered; the paper's measurements had
 // all pages in buffers thanks to LRU. The pool capacity is a knob in the
 // Figure 6 / footnote 11 benches.
+//
+// Lookup/Insert/Erase are O(1): entries live on one recency-ordered list
+// (most recent first) and a hash map points at their list nodes, so a touch
+// is a splice and an eviction pops the tail — no tree walks, and pages are
+// held by ref (PageRef) so hits never copy page bytes.
 
 #ifndef SRC_FS_BUFFER_POOL_H_
 #define SRC_FS_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
-#include <map>
-#include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "src/base/ids.h"
 #include "src/storage/disk.h"
@@ -26,13 +31,20 @@ class BufferPool {
     friend auto operator<=>(const Key&, const Key&) = default;
   };
 
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return FileIdHash()(k.file) * 1000003u + static_cast<uint32_t>(k.page_index);
+    }
+  };
+
   explicit BufferPool(int32_t capacity_pages) : capacity_(capacity_pages) {}
 
-  // Returns the cached clean copy and refreshes its LRU position.
-  std::optional<PageData> Lookup(const Key& key);
+  // Returns the cached clean copy (nullptr on miss) and refreshes its LRU
+  // position.
+  PageRef Lookup(const Key& key);
   // Inserts/replaces a clean copy, evicting the least recently used entry if
   // the pool is full.
-  void Insert(const Key& key, PageData data);
+  void Insert(const Key& key, PageRef data);
   void Erase(const Key& key);
   // Drops every page of `file` (file deleted or service migrated away).
   void InvalidateFile(const FileId& file);
@@ -44,13 +56,13 @@ class BufferPool {
   int64_t misses() const { return misses_; }
 
  private:
-  void Touch(const Key& key);
+  using LruList = std::list<std::pair<Key, PageRef>>;
 
   int32_t capacity_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
-  std::list<Key> lru_;  // Front = most recent.
-  std::map<Key, std::pair<PageData, std::list<Key>::iterator>> entries_;
+  LruList lru_;  // Front = most recent.
+  std::unordered_map<Key, LruList::iterator, KeyHash> entries_;
 };
 
 }  // namespace locus

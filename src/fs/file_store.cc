@@ -13,10 +13,24 @@ FileStore::FileStore(Simulation* sim, Volume* volume, BufferPool* pool, StatRegi
       pool_(pool),
       stats_(stats),
       trace_(trace),
-      site_name_(std::move(site_name)) {}
+      site_name_(std::move(site_name)) {
+  ids_.cpu = stats_->Intern("cpu." + site_name_);
+  ids_.bytes_written = stats_->Intern("fs.bytes_written");
+  ids_.shadow_pages_allocated = stats_->Intern("fs.shadow_pages_allocated");
+  ids_.shadow_pages_discarded = stats_->Intern("fs.shadow_pages_discarded");
+  ids_.commit_diffed_pages = stats_->Intern("fs.commit.diffed_pages");
+  ids_.commit_direct_pages = stats_->Intern("fs.commit.direct_pages");
+  ids_.commit_remerged_pages = stats_->Intern("fs.commit.remerged_pages");
+  ids_.commits_installed = stats_->Intern("fs.commits_installed");
+  ids_.install_working_page_patches = stats_->Intern("fs.install.working_page_patches");
+  ids_.truncates = stats_->Intern("fs.truncates");
+  ids_.aborts = stats_->Intern("fs.aborts");
+  ids_.rule2_adoptions = stats_->Intern("fs.rule2_adoptions");
+  ids_.prefetches = stats_->Intern("fs.prefetches");
+}
 
 void FileStore::Cpu(int64_t instructions) {
-  stats_->Add("cpu." + site_name_, instructions);
+  stats_->Add(ids_.cpu, instructions);
   sim_->BurnInstructions(instructions);
 }
 
@@ -126,34 +140,34 @@ FileStore::Writer* FileStore::FindWriter(FileState& state, const LockOwner& owne
   return nullptr;
 }
 
-PageData FileStore::CommittedPage(const FileId& file, const FileState& state, int32_t slot) {
+PageRef FileStore::CommittedPage(const FileId& file, const FileState& state, int32_t slot) {
   if (slot >= static_cast<int32_t>(state.inode.pages.size()) ||
       state.inode.pages[slot] == kNoPage) {
-    return PageData(page_size(), 0);
+    return MakePage(PageData(page_size(), 0));
   }
   BufferPool::Key key{file, slot};
-  if (auto cached = pool_->Lookup(key)) {
-    return *cached;
+  if (PageRef cached = pool_->Lookup(key)) {
+    return cached;
   }
   // The disk read blocks; a commit install may replace the page pointer
   // meanwhile. Cache the image only if it is still current — a stale insert
   // would outlive the install's invalidation.
   uint64_t version_before = state.inode.version;
-  PageData data = volume_->disk().Read(state.inode.pages[slot], "data");
+  PageRef data = volume_->disk().Read(state.inode.pages[slot], "data");
   if (state.inode.version == version_before) {
     pool_->Insert(key, data);
   }
   return data;
 }
 
-PageData FileStore::StableCommittedPage(const FileId& file, const FileState& state,
-                                        int32_t slot, uint64_t* version_out) {
+PageRef FileStore::StableCommittedPage(const FileId& file, const FileState& state,
+                                       int32_t slot, uint64_t* version_out) {
   // Version-stable snapshot: retry until no install slipped in during the
   // blocking read, so callers never persist an image that was already
   // superseded when the read completed.
   for (;;) {
     uint64_t version = state.inode.version;
-    PageData data = CommittedPage(file, state, slot);
+    PageRef data = CommittedPage(file, state, slot);
     if (state.inode.version == version) {
       if (version_out != nullptr) {
         *version_out = version;
@@ -187,13 +201,13 @@ std::vector<uint8_t> FileStore::Read(const FileId& file, const ByteRange& range)
     Cpu(kReadPerPageInstructions);
     ByteRange piece = PageSpan(slot).Intersect(clamped);
     const uint8_t* src = nullptr;
-    PageData committed;
+    PageRef committed;
     auto wp = state.working_pages.find(slot);
     if (wp != state.working_pages.end()) {
-      src = wp->second.data();
+      src = wp->second->data();
     } else {
       committed = CommittedPage(file, state, slot);
-      src = committed.data();
+      src = committed->data();
     }
     int64_t in_page = piece.start - PageSpan(slot).start;
     std::memcpy(out.data() + (piece.start - clamped.start), src + in_page, piece.length);
@@ -216,8 +230,9 @@ void FileStore::Write(const FileId& file, const LockOwner& writer, int64_t offse
     auto wp = state.working_pages.find(slot);
     if (wp == state.working_pages.end()) {
       // Copy-on-write: the working page starts as the committed image
-      // (version-stable: a racing install must not be frozen out).
-      PageData image = StableCommittedPage(file, state, slot, nullptr);
+      // (version-stable: a racing install must not be frozen out). The ref is
+      // shared with the pool/disk; MutablePage below clones before the write.
+      PageRef image = StableCommittedPage(file, state, slot, nullptr);
       wp = state.working_pages.find(slot);  // The fetch yielded; re-check.
       if (wp == state.working_pages.end()) {
         wp = state.working_pages.emplace(slot, std::move(image)).first;
@@ -225,17 +240,17 @@ void FileStore::Write(const FileId& file, const LockOwner& writer, int64_t offse
     }
     if (!w.shadow_pages.count(slot)) {
       w.shadow_pages[slot] = volume_->AllocPage();
-      stats_->Add("fs.shadow_pages_allocated");
+      stats_->Add(ids_.shadow_pages_allocated);
     }
     ByteRange piece = PageSpan(slot).Intersect(range);
     int64_t in_page = piece.start - PageSpan(slot).start;
-    std::memcpy(wp->second.data() + in_page, bytes.data() + (piece.start - range.start),
-                piece.length);
+    std::memcpy(MutablePage(wp->second).data() + in_page,
+                bytes.data() + (piece.start - range.start), piece.length);
   }
   w.dirty.Add(range);
   w.max_extent = std::max(w.max_extent, range.end());
   state.working_size = std::max(state.working_size, range.end());
-  stats_->Add("fs.bytes_written", range.length);
+  stats_->Add(ids_.bytes_written, range.length);
 }
 
 IntentionsList FileStore::FlushWriter(const FileId& file, FileState& state, Writer& writer) {
@@ -248,11 +263,11 @@ IntentionsList FileStore::FlushWriter(const FileId& file, FileState& state, Writ
 
   for (const auto& [slot, shadow] : writer.shadow_pages) {
     Cpu(kCommitPerPageInstructions);
-    PageData to_flush;
+    PageRef to_flush;
     if (OtherWriterOnPage(state, writer.owner, slot)) {
       // Figure 4(b): records from other writers share this physical page, so
       // merge only this writer's byte ranges onto the previous version.
-      stats_->Add("fs.commit.diffed_pages");
+      stats_->Add(ids_.commit_diffed_pages);
       uint64_t base_version = 0;
       to_flush = StableCommittedPage(file, state, slot, &base_version);
       // The install-time re-merge check compares against the OLDEST base any
@@ -261,19 +276,21 @@ IntentionsList FileStore::FlushWriter(const FileId& file, FileState& state, Writ
       auto wp = state.working_pages.find(slot);
       assert(wp != state.working_pages.end());
       int64_t copied = 0;
+      PageData& flush_buf = MutablePage(to_flush);
       for (const ByteRange& r : writer.dirty.IntersectionsWith(PageSpan(slot))) {
         int64_t in_page = r.start - PageSpan(slot).start;
-        std::memcpy(to_flush.data() + in_page, wp->second.data() + in_page, r.length);
+        std::memcpy(flush_buf.data() + in_page, wp->second->data() + in_page, r.length);
         copied += r.length;
       }
       Cpu(kDiffPerPageInstructions +
                              static_cast<int64_t>(kDiffInstructionsPerByte *
                                                   static_cast<double>(copied)));
     } else {
-      // Figure 4(a): this writer is alone on the page; snapshot the working
-      // image (taken synchronously so a writer arriving during the disk write
-      // cannot leak uncommitted bytes into the flush) and write it directly.
-      stats_->Add("fs.commit.direct_pages");
+      // Figure 4(a): this writer is alone on the page; share the working
+      // image as the flush snapshot. A writer arriving during the disk write
+      // cannot leak uncommitted bytes into it: its modification clones the
+      // page (copy-on-write) because the ref is now shared.
+      stats_->Add(ids_.commit_direct_pages);
       auto wp = state.working_pages.find(slot);
       assert(wp != state.working_pages.end());
       to_flush = wp->second;
@@ -295,27 +312,26 @@ void FileStore::InstallIntentions(const IntentionsList& intentions) {
         state.inode.pages[u.page_index] == u.new_page) {
       continue;  // Duplicate commit message / redo after crash (section 4.4).
     }
-    bool have_installed_image = false;
-    PageData installed_image;
+    PageRef installed_image;
     if (version_at_entry != intentions.base_version) {
       // Another writer committed this file between our flush and now; the
       // shadow page was merged against a stale base, so re-difference it
       // against the current committed image using the logged lock ranges
       // (the prepare log "stor[es] enough of the intentions lists and lock
       // lists ... to guarantee that the files can be committed").
-      stats_->Add("fs.commit.remerged_pages");
-      PageData base = StableCommittedPage(intentions.file, state, u.page_index, nullptr);
-      PageData shadow = volume_->disk().Read(u.new_page, "reread");
+      stats_->Add(ids_.commit_remerged_pages);
+      PageRef base = StableCommittedPage(intentions.file, state, u.page_index, nullptr);
+      PageRef shadow = volume_->disk().Read(u.new_page, "reread");
+      PageData& base_buf = MutablePage(base);
       for (const ByteRange& r : intentions.ranges) {
         ByteRange piece = r.Intersect(PageSpan(u.page_index));
         if (piece.empty()) {
           continue;
         }
         int64_t in_page = piece.start - PageSpan(u.page_index).start;
-        std::memcpy(base.data() + in_page, shadow.data() + in_page, piece.length);
+        std::memcpy(base_buf.data() + in_page, shadow->data() + in_page, piece.length);
       }
       installed_image = base;
-      have_installed_image = true;
       volume_->disk().Write(u.new_page, std::move(base), "data");
     }
     PageId old = kNoPage;
@@ -352,20 +368,20 @@ void FileStore::InstallIntentions(const IntentionsList& intentions) {
         }
       }
       if (!to_patch.empty()) {
-        if (!have_installed_image) {
+        if (installed_image == nullptr) {
           installed_image = volume_->disk().Read(u.new_page, "reread");
-          have_installed_image = true;
         }
         // Re-find: the read above may yield; the map node is stable but the
         // entry could have been erased by a concurrent resolution.
         wp = state.working_pages.find(u.page_index);
         if (wp != state.working_pages.end()) {
+          PageData& working_buf = MutablePage(wp->second);
           for (const ByteRange& piece : to_patch.ranges()) {
             int64_t in_page = piece.start - span.start;
-            std::memcpy(wp->second.data() + in_page, installed_image.data() + in_page,
+            std::memcpy(working_buf.data() + in_page, installed_image->data() + in_page,
                         piece.length);
           }
-          stats_->Add("fs.install.working_page_patches");
+          stats_->Add(ids_.install_working_page_patches);
         }
       }
     }
@@ -374,7 +390,7 @@ void FileStore::InstallIntentions(const IntentionsList& intentions) {
   state.working_size = std::max(state.working_size, state.inode.size);
   // The atomic switch: one write replaces the descriptor block (section 4).
   volume_->WriteInode(state.inode);
-  stats_->Add("fs.commits_installed");
+  stats_->Add(ids_.commits_installed);
 }
 
 void FileStore::FinishCommit(const FileId& file, FileState& state, const LockOwner& owner) {
@@ -433,7 +449,7 @@ bool FileStore::Truncate(const FileId& file, int64_t size) {
   state.inode.version++;
   state.working_size = size;
   volume_->WriteInode(state.inode);
-  stats_->Add("fs.truncates");
+  stats_->Add(ids_.truncates);
   return true;
 }
 
@@ -494,12 +510,13 @@ bool FileStore::AbortWriter(const FileId& file, const LockOwner& writer) {
       // Conflicting modifications exist: re-fetch the old version and
       // overwrite just this writer's records with their original contents
       // (section 5.2's abort path).
-      PageData previous = StableCommittedPage(file, *state, slot, nullptr);
+      PageRef previous = StableCommittedPage(file, *state, slot, nullptr);
       assert(wp != state->working_pages.end());
       int64_t copied = 0;
+      PageData& working_buf = MutablePage(wp->second);
       for (const ByteRange& r : w->dirty.IntersectionsWith(PageSpan(slot))) {
         int64_t in_page = r.start - PageSpan(slot).start;
-        std::memcpy(wp->second.data() + in_page, previous.data() + in_page, r.length);
+        std::memcpy(working_buf.data() + in_page, previous->data() + in_page, r.length);
         copied += r.length;
       }
       Cpu(kDiffPerPageInstructions +
@@ -510,7 +527,7 @@ bool FileStore::AbortWriter(const FileId& file, const LockOwner& writer) {
       state->working_pages.erase(wp);
     }
     volume_->FreePage(shadow);
-    stats_->Add("fs.shadow_pages_discarded");
+    stats_->Add(ids_.shadow_pages_discarded);
   }
   std::erase_if(state->writers, [&](const Writer& x) { return x.owner.SameWriterAs(writer); });
   int64_t size = state->inode.size;
@@ -518,7 +535,7 @@ bool FileStore::AbortWriter(const FileId& file, const LockOwner& writer) {
     size = std::max(size, other.max_extent);
   }
   state->working_size = size;
-  stats_->Add("fs.aborts");
+  stats_->Add(ids_.aborts);
   return true;
 }
 
@@ -601,7 +618,7 @@ std::vector<ByteRange> FileStore::AdoptDirtyRanges(const FileId& file, const Byt
   std::erase_if(state->writers, [](const Writer& w) {
     return w.dirty.empty() && w.shadow_pages.empty();
   });
-  stats_->Add("fs.rule2_adoptions");
+  stats_->Add(ids_.rule2_adoptions);
   return adopted;
 }
 
@@ -639,15 +656,24 @@ void FileStore::PrefetchRange(const FileId& file, const ByteRange& range) {
       continue;  // Already resident with uncommitted content.
     }
     BufferPool::Key key{file, slot};
-    if (pool_->Lookup(key).has_value()) {
+    if (pool_->Lookup(key) != nullptr) {
       continue;
     }
-    stats_->Add("fs.prefetches");
+    stats_->Add(ids_.prefetches);
     volume_->disk().SubmitRead(state->inode.pages[slot], "prefetch",
-                               [this, key](PageData data) {
+                               [this, key](PageRef data) {
                                  pool_->Insert(key, std::move(data));
                                });
   }
+}
+
+PageRef FileStore::PageImage(const FileId& file, int32_t slot) {
+  FileState& state = LoadState(file);
+  auto wp = state.working_pages.find(slot);
+  if (wp != state.working_pages.end()) {
+    return wp->second;
+  }
+  return CommittedPage(file, state, slot);
 }
 
 std::vector<FileId> FileStore::FilesWithUncommitted(const LockOwner& writer) const {

@@ -128,6 +128,11 @@ class FileStore {
   // Files on which `writer` has uncommitted modifications.
   std::vector<FileId> FilesWithUncommitted(const LockOwner& writer) const;
 
+  // Current content of page `slot` as a shared image: the working page if one
+  // exists, else the committed page (blocking on a disk read if uncached).
+  // Used by replica propagation so page payloads ride messages by ref.
+  PageRef PageImage(const FileId& file, int32_t slot);
+
   // --- Crash / recovery ---
   // Site crash: working pages, caches and writer state are volatile.
   void OnCrash();
@@ -150,7 +155,7 @@ class FileStore {
 
   struct FileState {
     DiskInode inode;                          // Committed descriptor (cached).
-    std::map<int32_t, PageData> working_pages;  // Slots with uncommitted bytes.
+    std::map<int32_t, PageRef> working_pages;  // Slots with uncommitted bytes.
     // std::list: Writer references stay valid across the blocking disk I/O in
     // the commit path while other processes register new writers.
     std::list<Writer> writers;
@@ -168,13 +173,14 @@ class FileStore {
   Writer& WriterFor(FileState& state, const LockOwner& owner);
   Writer* FindWriter(FileState& state, const LockOwner& owner);
   // Committed content of a page slot: buffer pool, else disk (charging a
-  // read); slots beyond the committed page list read as zeros.
-  PageData CommittedPage(const FileId& file, const FileState& state, int32_t slot);
+  // read); slots beyond the committed page list read as zeros. Returns a
+  // shared image — callers clone via MutablePage before modifying.
+  PageRef CommittedPage(const FileId& file, const FileState& state, int32_t slot);
   // Version-stable committed image: retries the (blocking) fetch until no
   // install replaced the page pointer during the read, so callers never
   // persist a superseded image. Optionally reports the matching version.
-  PageData StableCommittedPage(const FileId& file, const FileState& state, int32_t slot,
-                               uint64_t* version_out);
+  PageRef StableCommittedPage(const FileId& file, const FileState& state, int32_t slot,
+                              uint64_t* version_out);
   // True if a writer other than `owner` has dirty bytes on `slot`.
   bool OtherWriterOnPage(const FileState& state, const LockOwner& owner, int32_t slot) const;
   ByteRange PageSpan(int32_t slot) const;
@@ -190,6 +196,25 @@ class FileStore {
   TraceLog* trace_;
   std::string site_name_;
   std::map<FileId, FileState> files_;
+
+  // Interned ids for every counter this class bumps; the read/write/commit
+  // paths are the hottest stat emitters in the system.
+  struct Ids {
+    StatRegistry::StatId cpu;
+    StatRegistry::StatId bytes_written;
+    StatRegistry::StatId shadow_pages_allocated;
+    StatRegistry::StatId shadow_pages_discarded;
+    StatRegistry::StatId commit_diffed_pages;
+    StatRegistry::StatId commit_direct_pages;
+    StatRegistry::StatId commit_remerged_pages;
+    StatRegistry::StatId commits_installed;
+    StatRegistry::StatId install_working_page_patches;
+    StatRegistry::StatId truncates;
+    StatRegistry::StatId aborts;
+    StatRegistry::StatId rule2_adoptions;
+    StatRegistry::StatId prefetches;
+  };
+  Ids ids_;
 };
 
 }  // namespace locus

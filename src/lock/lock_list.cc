@@ -41,40 +41,107 @@ std::string ToString(const LockOwner& o) {
   return "pid:" + std::to_string(o.pid);
 }
 
+size_t LockList::FirstCandidate(const Bucket& b, const ByteRange& r) {
+  size_t i = std::lower_bound(b.begin(), b.end(), r.start,
+                              [](const Entry& e, int64_t s) { return e.range.start < s; }) -
+             b.begin();
+  // At most one non-empty entry starting before `r` can cross into it
+  // (entries are disjoint), but zero-length entries may sit between it and
+  // the lower bound; walk back over them.
+  while (i > 0 && (b[i - 1].range.Overlaps(r) || b[i - 1].range.empty())) {
+    --i;
+  }
+  return i;
+}
+
 bool LockList::CanGrant(const ByteRange& range, const LockOwner& owner, LockMode mode) const {
-  for (const Entry& e : entries_) {
-    if (e.owner.SameAs(owner) || !e.range.Overlaps(range)) {
+  for (const auto& [key, bucket] : buckets_) {
+    if (OwnerOf(key).SameAs(owner)) {
       continue;
     }
     // Retained locks are still held for synchronization purposes (section
     // 3.1: unlocked resources stay unavailable outside the transaction).
-    if (!LocksCompatible(e.mode, mode)) {
-      return false;
+    for (size_t i = FirstCandidate(bucket, range);
+         i < bucket.size() && bucket[i].range.start < range.end(); ++i) {
+      if (bucket[i].range.Overlaps(range) && !LocksCompatible(bucket[i].mode, mode)) {
+        return false;
+      }
     }
   }
   return true;
 }
 
+void LockList::Carve(Bucket& bucket, const ByteRange& range, bool* inherits_dirty,
+                     bool retain_unlocked) {
+  size_t i = FirstCandidate(bucket, range);
+  size_t j = i;
+  while (j < bucket.size() && bucket[j].range.start < range.end()) {
+    ++j;
+  }
+  Bucket replaced;
+  bool changed = false;
+  for (size_t k = i; k < j; ++k) {
+    const Entry& e = bucket[k];
+    if (!e.range.Overlaps(range)) {
+      replaced.push_back(e);
+      continue;
+    }
+    changed = true;
+    if (inherits_dirty != nullptr && e.covers_dirty) {
+      *inherits_dirty = true;
+    }
+    ByteRange cut = e.range.Intersect(range);
+    // Emit the pieces in offset order so the bucket stays sorted: the piece
+    // before the cut, the (possibly retained) cut itself, the piece after.
+    if (e.range.start < cut.start) {
+      Entry rest = e;
+      rest.range = ByteRange{e.range.start, cut.start - e.range.start};
+      replaced.push_back(rest);
+    }
+    if (retain_unlocked) {
+      // Unlock rules: rule 2 keeps dirty-covering locks, rule 1 keeps
+      // transaction locks; non-transaction owners and non-transaction locks
+      // are dropped outright.
+      if (e.covers_dirty || (e.owner.txn.valid() && !e.non_transaction)) {
+        Entry unlocked = e;
+        unlocked.range = cut;
+        unlocked.retained = true;
+        replaced.push_back(unlocked);
+      }
+    }
+    if (cut.end() < e.range.end()) {
+      Entry rest = e;
+      rest.range = ByteRange{cut.end(), e.range.end() - cut.end()};
+      replaced.push_back(rest);
+    }
+  }
+  if (!changed) {
+    return;
+  }
+  // Pieces of a split entry can extend past the start of a later zero-length
+  // window entry (which rode through uncut), so restore offset order.
+  std::stable_sort(replaced.begin(), replaced.end(), [](const Entry& a, const Entry& b) {
+    return a.range.start < b.range.start;
+  });
+  entry_count_ += static_cast<int64_t>(replaced.size()) - static_cast<int64_t>(j - i);
+  bucket.erase(bucket.begin() + i, bucket.begin() + j);
+  bucket.insert(bucket.begin() + i, replaced.begin(), replaced.end());
+}
+
 void LockList::Grant(const ByteRange& range, const LockOwner& owner, LockMode mode,
                      bool non_transaction) {
   bool inherits_dirty = false;
-  std::vector<Entry> out;
-  out.reserve(entries_.size() + 1);
-  for (const Entry& e : entries_) {
-    if (!e.owner.SameAs(owner) || !e.range.Overlaps(range)) {
-      out.push_back(e);
-      continue;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (OwnerOf(it->first).SameAs(owner)) {
+      // Carve the new range out of the owner's previous entries; this is
+      // what implements upgrade, downgrade, extension and contraction.
+      Carve(it->second, range, &inherits_dirty, /*retain_unlocked=*/false);
+      if (it->second.empty()) {
+        it = buckets_.erase(it);
+        continue;
+      }
     }
-    if (e.covers_dirty) {
-      inherits_dirty = true;
-    }
-    // Carve the new range out of the owner's previous entry; this is what
-    // implements upgrade, downgrade, extension and contraction.
-    for (const ByteRange& piece : e.range.Subtract(range)) {
-      Entry rest = e;
-      rest.range = piece;
-      out.push_back(rest);
-    }
+    ++it;
   }
   Entry granted;
   granted.range = range;
@@ -83,84 +150,112 @@ void LockList::Grant(const ByteRange& range, const LockOwner& owner, LockMode mo
   granted.retained = false;
   granted.non_transaction = non_transaction;
   granted.covers_dirty = inherits_dirty && !non_transaction;
-  out.push_back(granted);
-  entries_ = std::move(out);
+  Bucket& bucket = buckets_[KeyOf(owner)];
+  bucket.insert(std::upper_bound(bucket.begin(), bucket.end(), granted,
+                                 [](const Entry& a, const Entry& b) {
+                                   return a.range.start < b.range.start;
+                                 }),
+                granted);
+  ++entry_count_;
 }
 
 void LockList::Unlock(const ByteRange& range, const LockOwner& owner) {
-  std::vector<Entry> out;
-  out.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    if (!e.owner.SameAs(owner) || !e.range.Overlaps(range)) {
-      out.push_back(e);
-      continue;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (OwnerOf(it->first).SameAs(owner)) {
+      Carve(it->second, range, nullptr, /*retain_unlocked=*/true);
+      if (it->second.empty()) {
+        it = buckets_.erase(it);
+        continue;
+      }
     }
-    for (const ByteRange& piece : e.range.Subtract(range)) {
-      Entry rest = e;
-      rest.range = piece;
-      out.push_back(rest);
-    }
-    Entry unlocked = e;
-    unlocked.range = e.range.Intersect(range);
-    if (e.covers_dirty) {
-      // Rule 2 (section 3.3): the record is modified and uncommitted, so the
-      // lock is sticky until the transaction resolves.
-      unlocked.retained = true;
-      out.push_back(unlocked);
-    } else if (e.owner.txn.valid() && !e.non_transaction) {
-      // Rule 1: two-phase locking — a transaction's lock is retained.
-      unlocked.retained = true;
-      out.push_back(unlocked);
-    }
-    // Non-transaction owners and non-transaction locks are dropped outright.
+    ++it;
   }
-  entries_ = std::move(out);
 }
 
 void LockList::MarkDirtyCovered(const ByteRange& range, const LockOwner& owner) {
-  for (Entry& e : entries_) {
-    if (e.owner.SameAs(owner) && e.range.Overlaps(range) && !e.non_transaction &&
-        e.owner.txn.valid()) {
-      e.covers_dirty = true;
+  for (auto& [key, bucket] : buckets_) {
+    if (!key.txn.valid() || !OwnerOf(key).SameAs(owner)) {
+      continue;
+    }
+    for (size_t i = FirstCandidate(bucket, range);
+         i < bucket.size() && bucket[i].range.start < range.end(); ++i) {
+      if (bucket[i].range.Overlaps(range) && !bucket[i].non_transaction) {
+        bucket[i].covers_dirty = true;
+      }
     }
   }
 }
 
 void LockList::ReleaseTransaction(const TxnId& txn) {
-  std::erase_if(entries_, [&](const Entry& e) { return e.owner.txn == txn; });
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (it->first.txn == txn) {
+      entry_count_ -= static_cast<int64_t>(it->second.size());
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void LockList::ReleaseProcess(Pid pid) {
-  std::erase_if(entries_, [&](const Entry& e) { return !e.owner.txn.valid() && e.owner.pid == pid; });
+  auto it = buckets_.find(OwnerKey{pid, kNoTxn});
+  if (it != buckets_.end()) {
+    entry_count_ -= static_cast<int64_t>(it->second.size());
+    buckets_.erase(it);
+  }
+}
+
+LockMode LockList::ActingModeOver(const ByteRange& piece, const LockOwner& owner) const {
+  // The accessor acts in the strongest mode it holds over the contested
+  // bytes; with no covering lock it acts in Unix mode. Within one bucket at
+  // most one (disjoint) entry can contain `piece`: the last one starting at
+  // or before it.
+  LockMode acting = LockMode::kUnix;
+  for (const auto& [key, bucket] : buckets_) {
+    if (!OwnerOf(key).SameAs(owner)) {
+      continue;
+    }
+    auto it = std::upper_bound(bucket.begin(), bucket.end(), piece.start,
+                               [](int64_t s, const Entry& e) { return s < e.range.start; });
+    while (it != bucket.begin()) {
+      --it;
+      if (it->range.Contains(piece)) {
+        if (it->mode == LockMode::kExclusive) {
+          return LockMode::kExclusive;
+        }
+        if (it->mode == LockMode::kShared && acting == LockMode::kUnix) {
+          acting = LockMode::kShared;
+        }
+        break;
+      }
+      if (!it->range.empty()) {
+        break;  // A non-empty non-containing entry ends the walk (disjoint).
+      }
+    }
+  }
+  return acting;
 }
 
 bool LockList::AccessPermitted(const ByteRange& range, const LockOwner& owner,
                                bool write) const {
-  for (const Entry& e : entries_) {
-    if (e.owner.SameAs(owner)) {
+  for (const auto& [key, bucket] : buckets_) {
+    if (OwnerOf(key).SameAs(owner)) {
       continue;
     }
-    ByteRange overlap = e.range.Intersect(range);
-    if (overlap.empty()) {
-      continue;
-    }
-    // The accessor acts in the strongest mode it holds over the contested
-    // bytes; with no covering lock it acts in Unix mode.
-    LockMode acting = LockMode::kUnix;
-    for (const Entry& mine : entries_) {
-      if (mine.owner.SameAs(owner) && mine.range.Contains(overlap)) {
-        if (mine.mode == LockMode::kExclusive ||
-            (mine.mode == LockMode::kShared && acting == LockMode::kUnix)) {
-          acting = mine.mode;
-        }
+    for (size_t i = FirstCandidate(bucket, range);
+         i < bucket.size() && bucket[i].range.start < range.end(); ++i) {
+      const Entry& e = bucket[i];
+      ByteRange overlap = e.range.Intersect(range);
+      if (overlap.empty()) {
+        continue;
       }
-    }
-    AccessAllowed allowed = CompatibleAccess(e.mode, acting);
-    if (write && allowed != AccessAllowed::kReadWrite) {
-      return false;
-    }
-    if (!write && allowed == AccessAllowed::kNone) {
-      return false;
+      AccessAllowed allowed = CompatibleAccess(e.mode, ActingModeOver(overlap, owner));
+      if (write && allowed != AccessAllowed::kReadWrite) {
+        return false;
+      }
+      if (!write && allowed == AccessAllowed::kNone) {
+        return false;
+      }
     }
   }
   return true;
@@ -178,49 +273,95 @@ std::vector<LockOwner> LockList::ConflictingOwners(const ByteRange& range,
                                                    const LockOwner& owner,
                                                    LockMode mode) const {
   std::vector<LockOwner> out;
-  for (const Entry& e : entries_) {
-    if (e.owner.SameAs(owner) || !e.range.Overlaps(range)) {
+  for (const auto& [key, bucket] : buckets_) {
+    if (OwnerOf(key).SameAs(owner)) {
       continue;
     }
-    if (!LocksCompatible(e.mode, mode)) {
-      out.push_back(e.owner);
+    for (size_t i = FirstCandidate(bucket, range);
+         i < bucket.size() && bucket[i].range.start < range.end(); ++i) {
+      if (bucket[i].range.Overlaps(range) && !LocksCompatible(bucket[i].mode, mode)) {
+        out.push_back(bucket[i].owner);
+      }
     }
   }
   return out;
 }
 
-bool LockList::HoldsNonTransaction(const ByteRange& range, const LockOwner& owner) const {
-  RangeSet covered;
-  for (const Entry& e : entries_) {
-    if (e.owner.SameAs(owner) && !e.retained && e.non_transaction) {
-      covered.Add(e.range);
+namespace {
+
+// Total bytes of `range` covered by the union of `pieces` (each already
+// clipped to `range`); pieces from different buckets may overlap.
+int64_t UnionBytes(std::vector<ByteRange>& pieces) {
+  std::sort(pieces.begin(), pieces.end(),
+            [](const ByteRange& a, const ByteRange& b) { return a.start < b.start; });
+  int64_t bytes = 0;
+  int64_t covered_to = INT64_MIN;
+  for (const ByteRange& p : pieces) {
+    int64_t s = std::max(p.start, covered_to);
+    if (p.end() > s) {
+      bytes += p.end() - s;
+      covered_to = p.end();
     }
   }
-  int64_t bytes = 0;
-  for (const ByteRange& piece : covered.IntersectionsWith(range)) {
-    bytes += piece.length;
-  }
-  return bytes == range.length;
+  return bytes;
 }
 
+}  // namespace
+
 bool LockList::Holds(const ByteRange& range, const LockOwner& owner, LockMode mode) const {
-  RangeSet covered;
-  for (const Entry& e : entries_) {
-    if (!e.owner.SameAs(owner) || e.retained) {
+  std::vector<ByteRange> pieces;
+  for (const auto& [key, bucket] : buckets_) {
+    if (!OwnerOf(key).SameAs(owner)) {
       continue;
     }
-    bool strong_enough =
-        e.mode == LockMode::kExclusive || (e.mode == mode && mode == LockMode::kShared);
-    if (strong_enough) {
-      covered.Add(e.range);
+    for (size_t i = FirstCandidate(bucket, range);
+         i < bucket.size() && bucket[i].range.start < range.end(); ++i) {
+      const Entry& e = bucket[i];
+      if (e.retained) {
+        continue;
+      }
+      bool strong_enough =
+          e.mode == LockMode::kExclusive || (e.mode == mode && mode == LockMode::kShared);
+      if (!strong_enough) {
+        continue;
+      }
+      ByteRange piece = e.range.Intersect(range);
+      if (!piece.empty()) {
+        pieces.push_back(piece);
+      }
     }
   }
-  auto pieces = covered.IntersectionsWith(range);
-  int64_t bytes = 0;
-  for (const ByteRange& p : pieces) {
-    bytes += p.length;
+  return UnionBytes(pieces) == range.length;
+}
+
+bool LockList::HoldsNonTransaction(const ByteRange& range, const LockOwner& owner) const {
+  std::vector<ByteRange> pieces;
+  for (const auto& [key, bucket] : buckets_) {
+    if (!OwnerOf(key).SameAs(owner)) {
+      continue;
+    }
+    for (size_t i = FirstCandidate(bucket, range);
+         i < bucket.size() && bucket[i].range.start < range.end(); ++i) {
+      const Entry& e = bucket[i];
+      if (e.retained || !e.non_transaction) {
+        continue;
+      }
+      ByteRange piece = e.range.Intersect(range);
+      if (!piece.empty()) {
+        pieces.push_back(piece);
+      }
+    }
   }
-  return bytes == range.length;
+  return UnionBytes(pieces) == range.length;
+}
+
+std::vector<LockList::Entry> LockList::entries() const {
+  std::vector<Entry> out;
+  out.reserve(static_cast<size_t>(entry_count_));
+  for (const auto& [key, bucket] : buckets_) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  return out;
 }
 
 }  // namespace locus

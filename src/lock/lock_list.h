@@ -9,10 +9,19 @@
 // Ownership is transaction-wide: all processes of one transaction share its
 // locks (section 3.1 — a child created inside a transaction may acquire the
 // parent's exclusive records and vice versa).
+//
+// Representation: entries are bucketed by exact holder identity (pid, txn)
+// and each bucket is kept sorted by range offset with pairwise-disjoint
+// ranges (Grant carves the holder's previous entries before inserting).
+// Conflict checks therefore touch one bucket per *other* holder and binary
+// search within it, instead of scanning a flat list of every entry on the
+// file. `NaiveLockList` (naive_lock_list.h) retains the original flat-vector
+// implementation as the differential-testing reference.
 
 #ifndef SRC_LOCK_LOCK_LIST_H_
 #define SRC_LOCK_LOCK_LIST_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -115,7 +124,8 @@ class LockList {
   bool MayWrite(const ByteRange& range, const LockOwner& owner) const;
 
   // Owners whose active entries block `owner` from acquiring `mode` over
-  // `range` (for the wait-for graph).
+  // `range` (for the wait-for graph). One element per blocking entry, so an
+  // owner appears once per conflicting lock it holds.
   std::vector<LockOwner> ConflictingOwners(const ByteRange& range, const LockOwner& owner,
                                            LockMode mode) const;
 
@@ -128,13 +138,45 @@ class LockList {
   // such locks outside the transaction envelope.
   bool HoldsNonTransaction(const ByteRange& range, const LockOwner& owner) const;
 
-  const std::vector<Entry>& entries() const { return entries_; }
-  bool empty() const { return entries_.empty(); }
+  // Materialized flat view for diagnostics and tests (holder-bucket order,
+  // offset-sorted within each holder).
+  std::vector<Entry> entries() const;
+  bool empty() const { return entry_count_ == 0; }
 
  private:
-  bool AccessPermitted(const ByteRange& range, const LockOwner& owner, bool write) const;
+  // Exact holder identity. Distinct from LockOwner::SameAs: SameAs is not an
+  // equivalence relation ({pid,T} matches both {pid,-} and {pid2,T}, which do
+  // not match each other), so entries are bucketed by the exact identity they
+  // were granted under and SameAs is evaluated per bucket.
+  struct OwnerKey {
+    Pid pid = kNoPid;
+    TxnId txn = kNoTxn;
+    friend auto operator<=>(const OwnerKey&, const OwnerKey&) = default;
+  };
+  // Offset-sorted, pairwise-disjoint entries of one exact identity.
+  using Bucket = std::vector<Entry>;
 
-  std::vector<Entry> entries_;
+  static OwnerKey KeyOf(const LockOwner& o) { return OwnerKey{o.pid, o.txn}; }
+  static LockOwner OwnerOf(const OwnerKey& k) { return LockOwner{k.pid, k.txn}; }
+
+  // Index of the first entry in `b` that can overlap `r` (candidates run
+  // from there while entry.start < r.end()).
+  static size_t FirstCandidate(const Bucket& b, const ByteRange& r);
+
+  // Removes the parts of `range` from `bucket`, splitting partially covered
+  // entries. Sets *inherits_dirty if any removed part covered dirty records.
+  // When `retain_unlocked` is set, the removed parts are re-inserted as
+  // retained entries per the Unlock rules instead of being dropped.
+  void Carve(Bucket& bucket, const ByteRange& range, bool* inherits_dirty,
+             bool retain_unlocked);
+
+  bool AccessPermitted(const ByteRange& range, const LockOwner& owner, bool write) const;
+  // Strongest mode the owner's own entries hold over all of `piece`
+  // (kUnix when uncovered).
+  LockMode ActingModeOver(const ByteRange& piece, const LockOwner& owner) const;
+
+  std::map<OwnerKey, Bucket> buckets_;
+  int64_t entry_count_ = 0;
 };
 
 }  // namespace locus

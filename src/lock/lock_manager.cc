@@ -7,21 +7,21 @@ namespace locus {
 void LockManager::Request(const FileId& file, const ByteRange& range, const LockOwner& owner,
                           LockMode mode, bool non_transaction, bool wait,
                           GrantCallback callback, RangeFn recompute) {
-  stats_->Add("lock.requests");
+  stats_->Add(ids_.requests);
   LockList& list = files_[file];
   ByteRange r = recompute ? recompute() : range;
   if (list.CanGrant(r, owner, mode)) {
     list.Grant(r, owner, mode, non_transaction);
-    stats_->Add("lock.granted");
+    stats_->Add(ids_.granted);
     callback(true, r);
     return;
   }
   if (!wait) {
-    stats_->Add("lock.denied");
+    stats_->Add(ids_.denied);
     callback(false, {});
     return;
   }
-  stats_->Add("lock.queued");
+  stats_->Add(ids_.queued);
   waiting_.push_back(Waiting{next_seq_++, file, r, owner, mode, non_transaction,
                              std::move(callback), std::move(recompute)});
 }
@@ -85,7 +85,7 @@ void LockManager::RetryWaiters() {
       }
       if (list.CanGrant(it->range, it->owner, it->mode)) {
         list.Grant(it->range, it->owner, it->mode, it->non_transaction);
-        stats_->Add("lock.granted");
+        stats_->Add(ids_.granted);
         GrantCallback cb = std::move(it->callback);
         ByteRange granted = it->range;
         waiting_.erase(it);
@@ -152,9 +152,18 @@ const LockList* LockManager::Find(const FileId& file) const {
 int64_t LockManager::waiting_count() const { return static_cast<int64_t>(waiting_.size()); }
 
 std::vector<TxnId> LockManager::TransactionsWithLocks() const {
-  std::vector<TxnId> out;
+  // Cold path (topology-change scan). Iterate files in id order so the abort
+  // spawn order stays deterministic now that files_ is hashed.
+  std::vector<const FileId*> keys;
+  keys.reserve(files_.size());
   for (const auto& [file, list] : files_) {
-    for (const LockList::Entry& e : list.entries()) {
+    keys.push_back(&file);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const FileId* a, const FileId* b) { return *a < *b; });
+  std::vector<TxnId> out;
+  for (const FileId* key : keys) {
+    for (const LockList::Entry& e : files_.at(*key).entries()) {
       if (e.owner.txn.valid() &&
           std::find(out.begin(), out.end(), e.owner.txn) == out.end()) {
         out.push_back(e.owner.txn);

@@ -13,8 +13,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/ids.h"
@@ -46,7 +46,11 @@ class LockManager {
   using RangeFn = std::function<ByteRange()>;
 
   LockManager(TraceLog* trace, StatRegistry* stats, std::string site_name)
-      : trace_(trace), stats_(stats), site_name_(std::move(site_name)) {}
+      : trace_(trace),
+        stats_(stats),
+        site_name_(std::move(site_name)),
+        ids_{stats->Intern("lock.requests"), stats->Intern("lock.granted"),
+             stats->Intern("lock.denied"), stats->Intern("lock.queued")} {}
 
   // Lock request. If it conflicts and `wait` is false the callback fires
   // immediately with false; with `wait` true it queues FIFO and fires when
@@ -88,7 +92,7 @@ class LockManager {
   const LockList* Find(const FileId& file) const;
   int64_t waiting_count() const;
   // Read-only view of every file's lock list (diagnostics, tests).
-  const std::map<FileId, LockList>& files() const { return files_; }
+  const std::unordered_map<FileId, LockList, FileIdHash>& files() const { return files_; }
 
   // Transactions holding any lock at this site (topology-change abort scan).
   std::vector<TxnId> TransactionsWithLocks() const;
@@ -115,8 +119,16 @@ class LockManager {
   TraceLog* trace_;
   StatRegistry* stats_;
   std::string site_name_;
+  // Interned counter ids: Request sits on the hot path of every file access.
+  struct Ids {
+    StatRegistry::StatId requests;
+    StatRegistry::StatId granted;
+    StatRegistry::StatId denied;
+    StatRegistry::StatId queued;
+  };
+  Ids ids_;
   uint64_t next_seq_ = 1;
-  std::map<FileId, LockList> files_;
+  std::unordered_map<FileId, LockList, FileIdHash> files_;
   std::deque<Waiting> waiting_;
 };
 

@@ -39,6 +39,7 @@ std::vector<SiteId> ParticipantSites(const std::vector<UsedFile>& files) {
 Kernel::Kernel(System* system, SiteId site)
     : system_(system),
       site_(site),
+      cpu_id_(system->stats().Intern("cpu." + system->net().SiteName(site))),
       locks_(&system->trace(), &system->stats(), system->net().SiteName(site)),
       txns_(&system->sim(), site),
       pool_(system->options().pool_pages) {}
@@ -50,7 +51,7 @@ StatRegistry& Kernel::stats() { return system_->stats(); }
 TraceLog& Kernel::trace() { return system_->trace(); }
 
 void Kernel::BurnCpu(int64_t instructions) {
-  stats().Add("cpu." + net().SiteName(site_), instructions);
+  stats().Add(cpu_id_, instructions);
   sim().BurnInstructions(instructions);
 }
 
@@ -538,7 +539,7 @@ void Kernel::ServeReplicaPropagate(const ReplicaPropagateMsg& msg) {
   LockOwner replicator{kReplicatorPid, kNoTxn};
   for (const auto& [slot, bytes] : msg.pages) {
     store->Write(msg.replica_file, replicator,
-                 static_cast<int64_t>(slot) * store->page_size(), bytes);
+                 static_cast<int64_t>(slot) * store->page_size(), *bytes);
   }
   store->CommitWriter(msg.replica_file, replicator);
   stats().Add("fs.replica_propagations");
@@ -562,8 +563,8 @@ void Kernel::PropagateReplicas(const FileId& primary, const IntentionsList& inte
   int32_t total_bytes = kControlMsgBytes;
   for (const PageUpdate& u : intentions.updates) {
     int64_t offset = static_cast<int64_t>(u.page_index) * store->page_size();
-    std::vector<uint8_t> bytes = store->Read(primary, ByteRange{offset, store->page_size()});
-    total_bytes += static_cast<int32_t>(bytes.size());
+    PageRef bytes = MakePage(store->Read(primary, ByteRange{offset, store->page_size()}));
+    total_bytes += static_cast<int32_t>(bytes->size());
     base.pages.push_back({u.page_index, std::move(bytes)});
   }
   for (const Replica& r : entry->replicas) {

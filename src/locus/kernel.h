@@ -218,6 +218,8 @@ class Kernel {
 
   System* system_;
   SiteId site_;
+  // Interned "cpu.<site>" counter: BurnCpu runs on every kernel service path.
+  StatRegistry::StatId cpu_id_;
   bool alive_ = true;
   ProcessTable procs_;
   LockManager locks_;

@@ -15,6 +15,7 @@
 #include "src/locus/errors.h"
 #include "src/net/network.h"
 #include "src/proc/process.h"
+#include "src/storage/disk.h"
 #include "src/storage/volume.h"
 
 namespace locus {
@@ -164,7 +165,9 @@ struct KillProcessRequest {
 struct ReplicaPropagateMsg {
   FileId replica_file;  // The inode on the receiving site's volume.
   int64_t new_size = 0;
-  std::vector<std::pair<int32_t, std::vector<uint8_t>>> pages;  // slot -> bytes
+  // slot -> shared page image: one copy of the bytes feeds every replica's
+  // message (the simulated wire size is still accounted per message).
+  std::vector<std::pair<int32_t, PageRef>> pages;
 };
 
 struct WaitEdgesReply {

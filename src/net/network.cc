@@ -1,5 +1,6 @@
 #include "src/net/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace locus {
@@ -17,7 +18,7 @@ void Responder::operator()(Message reply) const {
   if (!net_->Reachable(site_, call.from)) {
     return;  // Reply lost; the caller's timeout / failure detection fires.
   }
-  net_->stats().Add("net.messages");
+  net_->stats().Add(net_->messages_id_);
   Network* net = net_;
   uint64_t id = call_id_;
   net->sim_->Schedule(net->OneWayLatency(reply.size_bytes), [net, id, reply = std::move(reply)] {
@@ -25,7 +26,8 @@ void Responder::operator()(Message reply) const {
   });
 }
 
-Network::Network(Simulation* sim, TraceLog* trace) : sim_(sim), trace_(trace) {}
+Network::Network(Simulation* sim, TraceLog* trace)
+    : sim_(sim), trace_(trace), messages_id_(stats_.Intern("net.messages")) {}
 
 SiteId Network::AddSite(const std::string& name) {
   SiteId id = static_cast<SiteId>(sites_.size());
@@ -37,7 +39,11 @@ SiteId Network::AddSite(const std::string& name) {
 }
 
 void Network::RegisterHandler(SiteId site, int32_t type, Handler handler) {
-  sites_[site].handlers[type] = std::move(handler);
+  auto& handlers = sites_[site].handlers;
+  if (static_cast<size_t>(type) >= handlers.size()) {
+    handlers.resize(type + 1);
+  }
+  handlers[type] = std::move(handler);
 }
 
 SimTime Network::OneWayLatency(int32_t size_bytes) const {
@@ -56,7 +62,7 @@ void Network::Send(SiteId from, SiteId to, Message msg) {
   if (!sites_[from].alive) {
     return;
   }
-  stats_.Add("net.messages");
+  stats_.Add(messages_id_);
   sim_->Schedule(OneWayLatency(msg.size_bytes),
                  [this, from, to, msg = std::move(msg)]() mutable {
                    Deliver(from, to, std::move(msg), Responder());
@@ -77,7 +83,7 @@ RpcResult Network::Call(SiteId from, SiteId to, Message request, SimTime timeout
   call.caller = self;
   call.wake = std::make_unique<WaitQueue>(sim_);
 
-  stats_.Add("net.messages");
+  stats_.Add(messages_id_);
   Responder responder(this, id, to);
   sim_->Schedule(OneWayLatency(request.size_bytes),
                  [this, from, to, responder, request = std::move(request)]() mutable {
@@ -101,14 +107,13 @@ void Network::Deliver(SiteId from, SiteId to, Message msg, Responder responder) 
     return;
   }
   Site& dest = sites_[to];
-  auto it = dest.handlers.find(msg.type);
-  if (it == dest.handlers.end()) {
+  if (static_cast<size_t>(msg.type) >= dest.handlers.size() || !dest.handlers[msg.type]) {
     stats_.Add("net.unhandled");
     trace_->Log(sim_->Now(), dest.name, "unhandled message type %d from %s", msg.type,
                 sites_[from].name.c_str());
     return;
   }
-  it->second(from, msg, responder);
+  dest.handlers[msg.type](from, msg, responder);
 }
 
 void Network::CompleteCall(uint64_t call_id, RpcResult result) {
@@ -189,6 +194,9 @@ void Network::FailUnreachableCalls() {
       failed.push_back(id);
     }
   }
+  // Hashed map: sort by call id so failure completions schedule in issue
+  // order, keeping partition runs deterministic.
+  std::sort(failed.begin(), failed.end());
   for (uint64_t id : failed) {
     sim_->Schedule(kFailureDetectDelay,
                    [this, id] { CompleteCall(id, RpcResult{false, {}}); });

@@ -17,10 +17,10 @@
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sim/simulation.h"
@@ -134,7 +134,8 @@ class Network {
     bool alive = true;
     int partition_group = 0;
     uint64_t boot_epoch = 0;
-    std::map<int32_t, Handler> handlers;
+    // Indexed by message type (a small dense enum); empty slot = no handler.
+    std::vector<Handler> handlers;
     std::vector<std::function<void()>> topology_callbacks;
   };
 
@@ -156,9 +157,10 @@ class Network {
   Simulation* sim_;
   TraceLog* trace_;
   StatRegistry stats_;
+  StatRegistry::StatId messages_id_;  // "net.messages": bumped per message.
   std::vector<Site> sites_;
   uint64_t next_call_id_ = 1;
-  std::map<uint64_t, PendingCall> pending_calls_;
+  std::unordered_map<uint64_t, PendingCall> pending_calls_;
 };
 
 }  // namespace locus

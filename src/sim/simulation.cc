@@ -3,6 +3,11 @@
 #include <cassert>
 #include <cstdio>
 
+#ifdef LOCUS_SIM_FIBERS
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 namespace locus {
 
 namespace {
@@ -10,7 +15,87 @@ thread_local SimProcess* g_current_process = nullptr;
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// SimProcess
+// SimProcess — fiber backend
+
+#ifdef LOCUS_SIM_FIBERS
+
+namespace {
+// Stack per process. Kernel paths nest a few dozen frames at most; the
+// guard page below the stack turns an overflow into a clean SIGSEGV instead
+// of silent corruption. Pages are committed lazily by the OS, so the
+// per-process cost is the pages actually touched.
+constexpr size_t kFiberStackBytes = 512 * 1024;
+}  // namespace
+
+SimProcess::SimProcess(Simulation* sim, uint64_t id, std::string name,
+                       std::function<void()> body)
+    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)) {
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  stack_bytes_ = kFiberStackBytes + page;
+  stack_base_ = mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  assert(stack_base_ != MAP_FAILED && "fiber stack allocation failed");
+  [[maybe_unused]] int rc = mprotect(stack_base_, page, PROT_NONE);
+  assert(rc == 0);
+  getcontext(&context_);
+  context_.uc_stack.ss_sp = static_cast<char*>(stack_base_) + page;
+  context_.uc_stack.ss_size = kFiberStackBytes;
+  // When FiberMain returns the fiber resumes the scheduler.
+  context_.uc_link = &sim_->scheduler_context_;
+  makecontext(&context_, reinterpret_cast<void (*)()>(&SimProcess::FiberMain), 0);
+}
+
+SimProcess::~SimProcess() {
+  if (started_ && state_ != State::kFinished) {
+    // The process never finished (still blocked at teardown): grant it
+    // control one last time with the cancel flag set so the body unwinds
+    // and its stack frames are destroyed.
+    cancelled_ = true;
+    RunUntilParked();
+  }
+  if (stack_base_ != nullptr) {
+    munmap(stack_base_, stack_bytes_);
+  }
+}
+
+// Entry point of every fiber; runs with g_current_process already set.
+void SimProcess::FiberMain() {
+  SimProcess* self = g_current_process;
+  if (!self->cancelled_) {
+    try {
+      self->body_();
+    } catch (const SimCancelled&) {
+      // Teardown unwound the body; nothing more to do.
+    }
+  }
+  self->state_ = State::kFinished;
+  // Returning resumes scheduler_context_ via uc_link.
+}
+
+void SimProcess::YieldToScheduler() {
+  swapcontext(&context_, &sim_->scheduler_context_);
+  // Control is back: either a normal wake-up or a cancellation grant.
+  if (cancelled_) {
+    throw SimCancelled{};
+  }
+  state_ = State::kRunning;
+}
+
+void SimProcess::RunUntilParked() {
+  SimProcess* prev = g_current_process;
+  g_current_process = this;
+  if (!started_) {
+    started_ = true;
+    state_ = State::kRunning;
+  }
+  swapcontext(&sim_->scheduler_context_, &context_);
+  g_current_process = prev;
+}
+
+#else  // !LOCUS_SIM_FIBERS
+
+// ---------------------------------------------------------------------------
+// SimProcess — thread backend
 
 SimProcess::SimProcess(Simulation* sim, uint64_t id, std::string name,
                        std::function<void()> body)
@@ -84,6 +169,8 @@ void SimProcess::RunUntilParked() {
   cv_.wait(lock, [this] { return parked_; });
 }
 
+#endif  // LOCUS_SIM_FIBERS
+
 // ---------------------------------------------------------------------------
 // WaitQueue
 
@@ -120,7 +207,7 @@ void WaitQueue::NotifyAll() {
 Simulation::Simulation(uint64_t seed) : rng_(seed) {}
 
 Simulation::~Simulation() {
-  // Destroy processes before anything else so their threads unwind while the
+  // Destroy processes before anything else so their stacks unwind while the
   // simulation object is still alive.
   processes_.clear();
 }

@@ -13,9 +13,17 @@ Disk::Disk(Simulation* sim, StatRegistry* stats, std::string name, int32_t num_p
       page_size_(page_size),
       access_latency_(access_latency),
       stable_(num_pages) {
-  for (PageData& p : stable_) {
-    p.assign(page_size_, 0);
+  for (PageRef& p : stable_) {
+    p = MakePage(PageData(page_size_, 0));
   }
+  auto init = [&](KindStats& ks, const char* kind) {
+    ks.disk_id = stats_->Intern("disk." + name_ + "." + kind);
+    ks.io_id = stats_->Intern(std::string("io.") + kind);
+  };
+  init(reads_, "reads");
+  init(writes_, "writes");
+  init(reads_seq_, "reads_seq");
+  init(writes_seq_, "writes_seq");
 }
 
 SimTime Disk::QueueRequest(SimTime latency) {
@@ -24,15 +32,19 @@ SimTime Disk::QueueRequest(SimTime latency) {
   return busy_until_;
 }
 
-void Disk::CountAccess(const char* kind, const char* category) {
-  stats_->Add("disk." + name_ + "." + kind);
-  stats_->Add(std::string("io.") + kind);
-  stats_->Add(std::string("io.") + kind + "." + category);
+void Disk::CountAccess(KindStats& ks, const char* kind, const char* category) {
+  stats_->Add(ks.disk_id);
+  stats_->Add(ks.io_id);
+  auto [it, inserted] = ks.per_category.try_emplace(category, 0);
+  if (inserted) {
+    it->second = stats_->Intern(std::string("io.") + kind + "." + category);
+  }
+  stats_->Add(it->second);
 }
 
-PageData Disk::Read(PageId page, const char* category) {
+PageRef Disk::Read(PageId page, const char* category) {
   assert(page >= 0 && page < num_pages_);
-  CountAccess("reads", category);
+  CountAccess(reads_, "reads", category);
   SimTime done_at = QueueRequest(access_latency_);
   [[maybe_unused]] uint64_t epoch = crash_epoch_;
   sim_->Sleep(done_at - sim_->Now());
@@ -42,10 +54,10 @@ PageData Disk::Read(PageId page, const char* category) {
   return stable_[page];
 }
 
-void Disk::Write(PageId page, PageData data, const char* category) {
+void Disk::Write(PageId page, PageRef data, const char* category) {
   assert(page >= 0 && page < num_pages_);
-  assert(static_cast<int32_t>(data.size()) == page_size_);
-  CountAccess("writes", category);
+  assert(data != nullptr && static_cast<int32_t>(data->size()) == page_size_);
+  CountAccess(writes_, "writes", category);
   SimTime done_at = QueueRequest(access_latency_);
   uint64_t epoch = crash_epoch_;
   sim_->Sleep(done_at - sim_->Now());
@@ -55,9 +67,9 @@ void Disk::Write(PageId page, PageData data, const char* category) {
   stable_[page] = std::move(data);
 }
 
-void Disk::SubmitRead(PageId page, const char* category, std::function<void(PageData)> done) {
+void Disk::SubmitRead(PageId page, const char* category, std::function<void(PageRef)> done) {
   assert(page >= 0 && page < num_pages_);
-  CountAccess("reads", category);
+  CountAccess(reads_, "reads", category);
   SimTime done_at = QueueRequest(access_latency_);
   uint64_t epoch = crash_epoch_;
   sim_->ScheduleAt(done_at, [this, page, epoch, done = std::move(done)] {
@@ -68,11 +80,11 @@ void Disk::SubmitRead(PageId page, const char* category, std::function<void(Page
   });
 }
 
-void Disk::SubmitWrite(PageId page, PageData data, const char* category,
+void Disk::SubmitWrite(PageId page, PageRef data, const char* category,
                        std::function<void()> done) {
   assert(page >= 0 && page < num_pages_);
-  assert(static_cast<int32_t>(data.size()) == page_size_);
-  CountAccess("writes", category);
+  assert(data != nullptr && static_cast<int32_t>(data->size()) == page_size_);
+  CountAccess(writes_, "writes", category);
   SimTime done_at = QueueRequest(access_latency_);
   uint64_t epoch = crash_epoch_;
   sim_->ScheduleAt(done_at, [this, page, epoch, data = std::move(data), done = std::move(done)] {
@@ -89,9 +101,9 @@ void Disk::DropPendingRequests() {
   busy_until_ = sim_->Now();
 }
 
-PageData Disk::ReadSequential(PageId page, const char* category) {
+PageRef Disk::ReadSequential(PageId page, const char* category) {
   assert(page >= 0 && page < num_pages_);
-  CountAccess("reads_seq", category);
+  CountAccess(reads_seq_, "reads_seq", category);
   SimTime done_at = QueueRequest(sequential_latency_);
   [[maybe_unused]] uint64_t epoch = crash_epoch_;
   sim_->Sleep(done_at - sim_->Now());
@@ -99,10 +111,10 @@ PageData Disk::ReadSequential(PageId page, const char* category) {
   return stable_[page];
 }
 
-void Disk::WriteSequential(PageId page, PageData data, const char* category) {
+void Disk::WriteSequential(PageId page, PageRef data, const char* category) {
   assert(page >= 0 && page < num_pages_);
-  assert(static_cast<int32_t>(data.size()) == page_size_);
-  CountAccess("writes_seq", category);
+  assert(data != nullptr && static_cast<int32_t>(data->size()) == page_size_);
+  CountAccess(writes_seq_, "writes_seq", category);
   SimTime done_at = QueueRequest(sequential_latency_);
   uint64_t epoch = crash_epoch_;
   sim_->Sleep(done_at - sim_->Now());

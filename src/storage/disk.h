@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sim/simulation.h"
@@ -27,6 +29,28 @@ using PageId = int32_t;
 inline constexpr PageId kNoPage = -1;
 
 using PageData = std::vector<uint8_t>;
+
+// Shared page image. Page-sized payloads flow through the disk, the buffer
+// pool, the file store and replica-propagation messages by reference; a page
+// is treated as immutable while shared and cloned on modification
+// (MutablePage), so handing a ref to another layer never copies 4 KB.
+using PageRef = std::shared_ptr<PageData>;
+
+inline PageRef MakePage(PageData data) {
+  return std::make_shared<PageData>(std::move(data));
+}
+
+// Copy-on-write access: returns a mutable image, cloning it first if it is
+// shared with another holder. The simulation is single-threaded, so
+// use_count() is exact.
+inline PageData& MutablePage(PageRef& ref) {
+  if (ref == nullptr) {
+    ref = std::make_shared<PageData>();
+  } else if (ref.use_count() > 1) {
+    ref = std::make_shared<PageData>(*ref);
+  }
+  return *ref;
+}
 
 class Disk {
  public:
@@ -41,21 +65,23 @@ class Disk {
 
   // Blocking page I/O; must run in process context. `category` labels the
   // access in the I/O accounting (e.g. "data", "inode", "prepare_log") so the
-  // Figure 5 experiment can report per-step operation counts.
-  PageData Read(PageId page, const char* category);
-  void Write(PageId page, PageData data, const char* category);
+  // Figure 5 experiment can report per-step operation counts. Reads return a
+  // shared ref to the stable image (no copy); writes take ownership of the
+  // caller's ref.
+  PageRef Read(PageId page, const char* category);
+  void Write(PageId page, PageRef data, const char* category);
 
   // Sequential variants: the head is already positioned (log appends,
   // contiguous scans), so only rotation/transfer is paid. Used by the
   // write-ahead-log baseline and the shadow-vs-log analysis (section 6).
-  PageData ReadSequential(PageId page, const char* category);
-  void WriteSequential(PageId page, PageData data, const char* category);
+  PageRef ReadSequential(PageId page, const char* category);
+  void WriteSequential(PageId page, PageRef data, const char* category);
   SimTime sequential_latency() const { return sequential_latency_; }
   SimTime access_latency() const { return access_latency_; }
 
   // Async variants usable from event context.
-  void SubmitRead(PageId page, const char* category, std::function<void(PageData)> done);
-  void SubmitWrite(PageId page, PageData data, const char* category,
+  void SubmitRead(PageId page, const char* category, std::function<void(PageRef)> done);
+  void SubmitWrite(PageId page, PageRef data, const char* category,
                    std::function<void()> done);
 
   // Site crash: drops queued/in-flight requests (their completions never
@@ -64,7 +90,7 @@ class Disk {
 
   // Direct access to stable state for tests and recovery assertions; does not
   // model latency or count I/O.
-  const PageData& PeekStable(PageId page) const { return stable_[page]; }
+  const PageData& PeekStable(PageId page) const { return *stable_[page]; }
 
   int64_t reads() const { return stats_->Get("disk." + name_ + ".reads"); }
   int64_t writes() const { return stats_->Get("disk." + name_ + ".writes"); }
@@ -72,9 +98,11 @@ class Disk {
   static constexpr SimTime kDefaultSequentialLatency = Milliseconds(5);
 
  private:
+  struct KindStats;
+
   // Returns the completion time for a newly queued request.
   SimTime QueueRequest(SimTime latency);
-  void CountAccess(const char* kind, const char* category);
+  void CountAccess(KindStats& ks, const char* kind, const char* category);
 
   Simulation* sim_;
   StatRegistry* stats_;
@@ -85,7 +113,17 @@ class Disk {
   SimTime sequential_latency_ = kDefaultSequentialLatency;
   SimTime busy_until_ = 0;
   uint64_t crash_epoch_ = 0;
-  std::vector<PageData> stable_;
+  std::vector<PageRef> stable_;
+  // Interned hot counters: "disk.<name>.<kind>" and "io.<kind>" per access
+  // kind, so CountAccess builds no strings on the common path. Per-category
+  // ids are interned lazily and cached by literal address (the category set
+  // is a handful of string literals).
+  struct KindStats {
+    StatRegistry::StatId disk_id = 0;
+    StatRegistry::StatId io_id = 0;
+    std::unordered_map<const char*, StatRegistry::StatId> per_category;
+  };
+  KindStats reads_, writes_, reads_seq_, writes_seq_;
 };
 
 }  // namespace locus

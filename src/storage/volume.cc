@@ -54,6 +54,13 @@ int32_t Volume::free_page_count() const {
   return n;
 }
 
+PageRef Volume::ZeroPage() {
+  if (zero_page_ == nullptr) {
+    zero_page_ = MakePage(PageData(disk_->page_size(), 0));
+  }
+  return zero_page_;
+}
+
 Ino Volume::AllocInode() { return next_ino_++; }
 
 std::optional<DiskInode> Volume::ReadInode(Ino ino) {
@@ -69,12 +76,12 @@ void Volume::WriteInode(const DiskInode& inode) {
   // The stable map is mutated only after the write completes: a crash during
   // the write leaves the old descriptor block, which is exactly the atomic
   // single-file commit guarantee the transaction mechanism builds on.
-  disk_->Write(kInodeTablePage, PageData(disk_->page_size(), 0), "inode");
+  disk_->Write(kInodeTablePage, ZeroPage(), "inode");
   inodes_[inode.ino] = inode;
 }
 
 void Volume::FreeInode(Ino ino) {
-  disk_->Write(kInodeTablePage, PageData(disk_->page_size(), 0), "inode");
+  disk_->Write(kInodeTablePage, ZeroPage(), "inode");
   inodes_.erase(ino);
 }
 
@@ -84,11 +91,11 @@ const DiskInode* Volume::PeekInode(Ino ino) const {
 }
 
 uint64_t Volume::AppendLog(std::any payload, const char* category) {
-  disk_->Write(kLogPage, PageData(disk_->page_size(), 0), category);
+  disk_->Write(kLogPage, ZeroPage(), category);
   if (log_append_mode_ == LogAppendMode::kDoubleWrite) {
     // Footnote 9: the 1985 implementation also rewrote the log file's inode
     // on every append.
-    disk_->Write(kInodeTablePage, PageData(disk_->page_size(), 0), "log_inode");
+    disk_->Write(kInodeTablePage, ZeroPage(), "log_inode");
   }
   uint64_t id = next_log_id_++;
   log_[id] = LogRecord{id, std::move(payload)};
@@ -97,7 +104,7 @@ uint64_t Volume::AppendLog(std::any payload, const char* category) {
 
 void Volume::UpdateLog(uint64_t record_id, std::any payload, const char* category) {
   assert(log_.count(record_id) == 1);
-  disk_->Write(kLogPage, PageData(disk_->page_size(), 0), category);
+  disk_->Write(kLogPage, ZeroPage(), category);
   log_[record_id].payload = std::move(payload);
 }
 

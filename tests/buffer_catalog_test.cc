@@ -13,14 +13,14 @@ const FileId kF1{0, 1};
 const FileId kF2{0, 2};
 
 BufferPool::Key Key(const FileId& f, int32_t slot) { return BufferPool::Key{f, slot}; }
-PageData Page(uint8_t fill) { return PageData(16, fill); }
+PageRef Page(uint8_t fill) { return MakePage(PageData(16, fill)); }
 
 TEST(BufferPool, InsertLookupHitAndMiss) {
   BufferPool pool(4);
-  EXPECT_FALSE(pool.Lookup(Key(kF1, 0)).has_value());
+  EXPECT_EQ(pool.Lookup(Key(kF1, 0)), nullptr);
   pool.Insert(Key(kF1, 0), Page(1));
-  auto hit = pool.Lookup(Key(kF1, 0));
-  ASSERT_TRUE(hit.has_value());
+  PageRef hit = pool.Lookup(Key(kF1, 0));
+  ASSERT_NE(hit, nullptr);
   EXPECT_EQ((*hit)[0], 1);
   EXPECT_EQ(pool.hits(), 1);
   EXPECT_EQ(pool.misses(), 1);
@@ -32,9 +32,9 @@ TEST(BufferPool, LruEvictionOrder) {
   pool.Insert(Key(kF1, 1), Page(2));
   pool.Lookup(Key(kF1, 0));            // Touch slot 0: slot 1 becomes LRU.
   pool.Insert(Key(kF1, 2), Page(3));   // Evicts slot 1.
-  EXPECT_TRUE(pool.Lookup(Key(kF1, 0)).has_value());
-  EXPECT_FALSE(pool.Lookup(Key(kF1, 1)).has_value());
-  EXPECT_TRUE(pool.Lookup(Key(kF1, 2)).has_value());
+  EXPECT_NE(pool.Lookup(Key(kF1, 0)), nullptr);
+  EXPECT_EQ(pool.Lookup(Key(kF1, 1)), nullptr);
+  EXPECT_NE(pool.Lookup(Key(kF1, 2)), nullptr);
   EXPECT_EQ(pool.size(), 2);
 }
 
@@ -52,14 +52,14 @@ TEST(BufferPool, InvalidateFileDropsOnlyThatFile) {
   pool.Insert(Key(kF1, 1), Page(2));
   pool.Insert(Key(kF2, 0), Page(3));
   pool.InvalidateFile(kF1);
-  EXPECT_FALSE(pool.Lookup(Key(kF1, 0)).has_value());
-  EXPECT_TRUE(pool.Lookup(Key(kF2, 0)).has_value());
+  EXPECT_EQ(pool.Lookup(Key(kF1, 0)), nullptr);
+  EXPECT_NE(pool.Lookup(Key(kF2, 0)), nullptr);
 }
 
 TEST(BufferPool, ZeroCapacityNeverCaches) {
   BufferPool pool(0);
   pool.Insert(Key(kF1, 0), Page(1));
-  EXPECT_FALSE(pool.Lookup(Key(kF1, 0)).has_value());
+  EXPECT_EQ(pool.Lookup(Key(kF1, 0)), nullptr);
 }
 
 TEST(BufferPool, ClearOnCrash) {

@@ -30,9 +30,9 @@ class DiskTest : public ::testing::Test {
 
 TEST_F(DiskTest, WriteThenReadRoundTrip) {
   Run([&] {
-    PageData data(64, 0xAB);
+    PageRef data = MakePage(PageData(64, 0xAB));
     disk_.Write(3, data, "data");
-    EXPECT_EQ(disk_.Read(3, "data"), data);
+    EXPECT_EQ(*disk_.Read(3, "data"), *data);
   });
   EXPECT_EQ(stats_.Get("io.writes.data"), 1);
   EXPECT_EQ(stats_.Get("io.reads.data"), 1);
@@ -41,7 +41,7 @@ TEST_F(DiskTest, WriteThenReadRoundTrip) {
 TEST_F(DiskTest, AccessLatencyCharged) {
   Run([&] {
     SimTime t0 = sim_.Now();
-    disk_.Write(0, PageData(64, 1), "data");
+    disk_.Write(0, MakePage(PageData(64, 1)), "data");
     EXPECT_EQ(sim_.Now() - t0, Milliseconds(20));
   });
 }
@@ -52,11 +52,11 @@ TEST_F(DiskTest, FifoQueueSerializesRequests) {
   SimTime done_a = 0;
   SimTime done_b = 0;
   sim_.Spawn("a", [&] {
-    disk_.Write(0, PageData(64, 1), "data");
+    disk_.Write(0, MakePage(PageData(64, 1)), "data");
     done_a = sim_.Now();
   });
   sim_.Spawn("b", [&] {
-    disk_.Write(1, PageData(64, 2), "data");
+    disk_.Write(1, MakePage(PageData(64, 2)), "data");
     done_b = sim_.Now();
   });
   sim_.Run();
@@ -67,10 +67,10 @@ TEST_F(DiskTest, FifoQueueSerializesRequests) {
 TEST_F(DiskTest, AsyncSubmitCompletes) {
   bool read_done = false;
   bool write_done = false;
-  disk_.SubmitWrite(5, PageData(64, 9), "data", [&] { write_done = true; });
-  disk_.SubmitRead(5, "data", [&](PageData d) {
+  disk_.SubmitWrite(5, MakePage(PageData(64, 9)), "data", [&] { write_done = true; });
+  disk_.SubmitRead(5, "data", [&](PageRef d) {
     read_done = true;
-    EXPECT_EQ(d[0], 9);  // FIFO: the write completed first.
+    EXPECT_EQ((*d)[0], 9);  // FIFO: the write completed first.
   });
   sim_.Run();
   EXPECT_TRUE(write_done);
@@ -78,7 +78,7 @@ TEST_F(DiskTest, AsyncSubmitCompletes) {
 }
 
 TEST_F(DiskTest, CrashDropsInFlightWrites) {
-  disk_.SubmitWrite(7, PageData(64, 0xCC), "data", [] {});
+  disk_.SubmitWrite(7, MakePage(PageData(64, 0xCC)), "data", [] {});
   // Crash before the 20 ms access completes.
   sim_.Schedule(Milliseconds(5), [&] { disk_.DropPendingRequests(); });
   sim_.Run();
@@ -87,7 +87,7 @@ TEST_F(DiskTest, CrashDropsInFlightWrites) {
 
 TEST_F(DiskTest, CompletedWritesSurviveCrash) {
   sim_.Spawn("w", [&] {
-    disk_.Write(7, PageData(64, 0xDD), "data");
+    disk_.Write(7, MakePage(PageData(64, 0xDD)), "data");
     disk_.DropPendingRequests();  // Crash after completion.
   });
   sim_.Run();
