@@ -1,11 +1,20 @@
 // Reliability table (extension): the paper's abstract promises transactions
 // that "behave reasonably in the face of failures". This bench runs the
 // debit/credit workload under escalating fault scenarios and reports whether
-// the two correctness invariants held:
+// the correctness invariants held:
 //   conservation — committed money is never created or destroyed;
-//   liveness     — no process remains wedged after the faults clear.
+//   liveness     — no process remains wedged after the faults clear;
+//   currency     — with replicated branch files, every replica converges to
+//                  the latest committed image after crashes/partitions heal
+//                  (src/recon reintegration).
+//
+// With --json=<path> the per-scenario rows are also written for the
+// regression harness; main() exits nonzero if a replicated scenario violates
+// its invariants.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/workload/debit_credit.h"
@@ -17,18 +26,70 @@ namespace {
 struct ScenarioResult {
   DebitCreditResults workload;
   int blocked = 0;
+  // Replicated scenarios only: post-fault replica currency and byte equality.
+  bool checked_replicas = false;
+  bool replicas_current = true;
+  bool replicas_equal = true;
 };
 
+// Post-run replica audit: every replica of every branch file must report
+// current (non-stale, at the maximum commit ordinal) through the syscall
+// surface, and the committed images must be byte-identical across sites.
+void CheckReplicas(System& system, const DebitCreditConfig& config,
+                   ScenarioResult* out) {
+  bool current = true;
+  system.Spawn(0, "replica-audit", [&current, &config](Syscalls& sys) {
+    for (int b = 0; b < config.branches; ++b) {
+      auto status = sys.ReplicaStatus(DebitCreditWorkload::BranchPath(b));
+      if (!status.ok()) {
+        current = false;
+        continue;
+      }
+      for (const ReplicaStatusEntry& row : status.value) {
+        current = current && row.reachable && !row.stale && row.current;
+      }
+    }
+  });
+  system.RunFor(Seconds(30));
+  out->replicas_current = current;
+
+  bool equal = true;
+  for (int b = 0; b < config.branches; ++b) {
+    const CatalogEntry* entry =
+        system.catalog().Lookup(DebitCreditWorkload::BranchPath(b));
+    if (entry == nullptr) {
+      equal = false;
+      continue;
+    }
+    std::vector<std::vector<uint8_t>> images;
+    for (const Replica& r : entry->replicas) {
+      std::vector<uint8_t> bytes;
+      system.Spawn(r.site, "peek", [&bytes, r](Syscalls& sys) {
+        FileStore* store = sys.system().kernel(r.site).StoreFor(r.file.volume);
+        bytes = store->Read(r.file, ByteRange{0, store->CommittedSize(r.file)});
+      });
+      system.RunFor(Seconds(10));
+      images.push_back(std::move(bytes));
+    }
+    for (size_t i = 1; i < images.size(); ++i) {
+      equal = equal && images[i] == images[0];
+    }
+  }
+  out->replicas_equal = equal;
+}
+
 // Runs the workload at 3 sites while `faults` injects trouble from a
-// separate driver process.
-ScenarioResult RunScenario(uint64_t seed,
-                           std::function<void(Syscalls&)> faults) {
+// separate driver process. With replication > 1 the branch files are
+// replicated and the post-run replica audit is performed.
+ScenarioResult RunScenario(uint64_t seed, std::function<void(Syscalls&)> faults,
+                           int replication = 1) {
   System system(3, SystemOptions{.seed = seed});
   if (faults) {
     system.Spawn(2, "fault-injector", std::move(faults));
   }
   DebitCreditConfig config;
   config.branches = 2;  // Branch files at sites 0 and 1; tellers everywhere.
+  config.replication = replication;
   config.accounts_per_branch = 6;
   config.tellers = 4;
   config.transfers_per_teller = 8;
@@ -37,28 +98,45 @@ ScenarioResult RunScenario(uint64_t seed,
   ScenarioResult result;
   result.workload = workload.Execute();
   result.blocked = system.sim().blocked_process_count();
+  if (replication > 1) {
+    result.checked_replicas = true;
+    CheckReplicas(system, config, &result);
+  }
   return result;
 }
 
-void PrintRow(const char* name, const ScenarioResult& r) {
+// A scenario passes when the audit completed with money conserved, nothing
+// stayed wedged, and (if replicated) every replica ended current and equal.
+bool Healthy(const ScenarioResult& r) {
+  return r.workload.audit_complete && r.workload.conserved() && r.blocked == 0 &&
+         r.replicas_current && r.replicas_equal;
+}
+
+void PrintRow(const char* name, const ScenarioResult& r, JsonReport* report) {
   // "conserved" is only meaningful when every branch was readable by audit
   // time; permanently in-doubt records (the classic 2PC blocking window,
   // when a coordinator dies for good) make the audit incomplete instead.
   const char* conserved = !r.workload.audit_complete ? "n/a"
                           : r.workload.conserved()   ? "yes"
                                                      : "NO";
-  printf("%-34s %8d %9s %9s %9s\n", name, r.workload.committed, conserved,
-         r.workload.audit_complete ? "yes" : "NO", r.blocked == 0 ? "yes" : "NO");
+  const char* replicas = !r.checked_replicas ? "n/a"
+                         : (r.replicas_current && r.replicas_equal) ? "yes"
+                                                                    : "NO";
+  printf("%-36s %8d %9s %7s %5s %8s\n", name, r.workload.committed, conserved,
+         r.workload.audit_complete ? "yes" : "NO", r.blocked == 0 ? "yes" : "NO",
+         replicas);
+  report->Add("chaos_reliability", name, r.workload.throughput_tps(),
+              ToMilliseconds(r.workload.makespan));
 }
 
-void RunTable() {
+bool RunTables(JsonReport* report) {
   PrintHeader("Reliability under faults (extension)",
               "the abstract's claim: 'behave reasonably in the face of failures'");
-  printf("%-34s %8s %9s %9s %9s\n", "scenario", "commits", "conserved", "audited",
-         "live");
-  printf("------------------------------------------------------------------\n");
+  printf("%-36s %8s %9s %7s %5s %8s\n", "scenario", "commits", "conserved",
+         "audited", "live", "replicas");
+  printf("----------------------------------------------------------------------------\n");
 
-  PrintRow("no faults", RunScenario(1, nullptr));
+  PrintRow("no faults", RunScenario(1, nullptr), report);
 
   PrintRow("teller-site crash + reboot", RunScenario(2, [](Syscalls& sys) {
              // The injector runs at site 2 and takes its own site down; a
@@ -69,21 +147,24 @@ void RunTable() {
              cluster->sim().Schedule(Seconds(3), [cluster] { cluster->RebootSite(2); });
              sys.Compute(Milliseconds(600));
              cluster->CrashSite(2);
-           }));
+           }),
+           report);
 
   PrintRow("storage-site crash + reboot", RunScenario(3, [](Syscalls& sys) {
              sys.Compute(Milliseconds(600));
              sys.system().CrashSite(1);
              sys.Compute(Seconds(2));
              sys.system().RebootSite(1);
-           }));
+           }),
+           report);
 
   PrintRow("transient partition", RunScenario(4, [](Syscalls& sys) {
              sys.Compute(Milliseconds(500));
              sys.system().Partition({{0, 2}, {1}});
              sys.Compute(Seconds(2));
              sys.system().HealPartitions();
-           }));
+           }),
+           report);
 
   PrintRow("repeated crash storm", RunScenario(5, [](Syscalls& sys) {
              for (int i = 0; i < 3; ++i) {
@@ -92,7 +173,8 @@ void RunTable() {
                sys.Compute(Milliseconds(700));
                sys.system().RebootSite(1);
              }
-           }));
+           }),
+           report);
 
   PrintRow("partition + crash combined", RunScenario(6, [](Syscalls& sys) {
              sys.Compute(Milliseconds(400));
@@ -103,11 +185,39 @@ void RunTable() {
              sys.system().CrashSite(1);
              sys.Compute(Seconds(1));
              sys.system().RebootSite(1);
-           }));
+           }),
+           report);
 
-  printf("------------------------------------------------------------------\n");
-  printf("expected: 'conserved' and 'live' are yes in every row; the commit\n");
-  printf("count drops as faults abort in-flight transactions (atomically).\n");
+  // Replicated scenarios (src/recon): a replica site dies or is partitioned
+  // away while commits keep landing at the surviving primary; after the
+  // reboot/heal, reintegration must bring every replica back to the latest
+  // committed image — checked through ReplicaStatus and raw byte comparison.
+  ScenarioResult replica_crash = RunScenario(7, [](Syscalls& sys) {
+    sys.Compute(Milliseconds(600));
+    sys.system().CrashSite(1);
+    sys.Compute(Seconds(2));
+    sys.system().RebootSite(1);
+  }, /*replication=*/2);
+  PrintRow("replica crash + reboot (repl=2)", replica_crash, report);
+
+  ScenarioResult partition_heal = RunScenario(8, [](Syscalls& sys) {
+    sys.Compute(Milliseconds(500));
+    sys.system().Partition({{0, 2}, {1}});
+    sys.Compute(Seconds(2));
+    sys.system().HealPartitions();
+  }, /*replication=*/3);
+  PrintRow("partition + heal (repl=3)", partition_heal, report);
+
+  printf("----------------------------------------------------------------------------\n");
+  printf("expected: 'conserved' and 'live' are yes in every row, 'replicas' is\n");
+  printf("yes in the replicated rows; the commit count drops as faults abort\n");
+  printf("in-flight transactions (atomically).\n");
+
+  bool ok = Healthy(replica_crash) && Healthy(partition_heal);
+  if (!ok) {
+    fprintf(stderr, "chaos_reliability: replicated-scenario invariants VIOLATED\n");
+  }
+  return ok;
 }
 
 void BM_FaultScenario(benchmark::State& state) {
@@ -122,8 +232,11 @@ BENCHMARK(BM_FaultScenario)->Unit(benchmark::kMillisecond);
 }  // namespace locus
 
 int main(int argc, char** argv) {
-  locus::bench::RunTable();
+  std::string json_path = locus::bench::ExtractJsonPath(&argc, argv);
+  locus::bench::JsonReport report;
+  bool ok = locus::bench::RunTables(&report);
+  report.WriteTo(json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ok ? 0 : 1;
 }

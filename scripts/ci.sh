@@ -22,6 +22,11 @@ echo "=== benchmark regression snapshot ==="
     --benchmark_filter=NONE >/dev/null
 cat build/BENCH_scale.json
 
+echo "=== chaos reliability scenarios (exit nonzero on invariant violation) ==="
+./build/bench/chaos_reliability --json=build/BENCH_chaos.json \
+    --benchmark_filter=NONE
+cat build/BENCH_chaos.json
+
 echo "=== ASAN build + lock differential test ==="
 cmake -B build-asan -S . -DLOCUS_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" --target lock_index_test

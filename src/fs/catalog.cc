@@ -39,6 +39,9 @@ bool Catalog::CreateFileEntry(const std::string& path, std::vector<Replica> repl
   CatalogEntry entry;
   entry.is_dir = false;
   entry.replicas = std::move(replicas);
+  for (const Replica& r : entry.replicas) {
+    replica_index_[r.file] = path;
+  }
   entries_[path] = std::move(entry);
   return true;
 }
@@ -61,6 +64,9 @@ bool Catalog::Remove(const std::string& path) {
   auto it = entries_.find(path);
   if (it == entries_.end() || it->second.is_dir) {
     return false;
+  }
+  for (const Replica& r : it->second.replicas) {
+    replica_index_.erase(r.file);
   }
   entries_.erase(it);
   return true;
@@ -89,14 +95,54 @@ std::vector<std::string> Catalog::List(const std::string& dir_path) const {
 }
 
 std::optional<std::string> Catalog::PathOf(const FileId& file) const {
+  auto it = replica_index_.find(file);
+  if (it == replica_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool Catalog::SetReplicaStale(const std::string& path, SiteId site, bool stale) {
+  CatalogEntry* entry = Find(path);
+  if (entry == nullptr) {
+    return false;
+  }
+  for (Replica& r : entry->replicas) {
+    if (r.site == site && r.stale != stale) {
+      r.stale = stale;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Catalog::ReplicaPathsAt(SiteId site) const {
+  std::vector<std::string> out;
   for (const auto& [path, entry] : entries_) {
+    if (entry.replicas.size() < 2) {
+      continue;
+    }
     for (const Replica& r : entry.replicas) {
-      if (r.file == file) {
-        return path;
+      if (r.site == site) {
+        out.push_back(path);
+        break;
       }
     }
   }
-  return std::nullopt;
+  return out;
+}
+
+std::vector<std::string> Catalog::StaleReplicaPathsAt(SiteId site) const {
+  std::vector<std::string> out;
+  for (const auto& [path, entry] : entries_) {
+    for (const Replica& r : entry.replicas) {
+      if (r.site == site && r.stale) {
+        out.push_back(path);
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 const Replica* Catalog::ServingReplica(const std::string& path, SiteId client) const {
@@ -111,11 +157,21 @@ const Replica* Catalog::ServingReplica(const std::string& path, SiteId client) c
       }
     }
   }
+  // The staleness gate: a quarantined replica must not serve reads, so a
+  // client co-located with a stale copy falls through to a current one.
   for (const Replica& r : entry->replicas) {
-    if (r.site == client) {
+    if (r.site == client && !r.stale) {
       return &r;
     }
   }
+  for (const Replica& r : entry->replicas) {
+    if (!r.stale) {
+      return &r;
+    }
+  }
+  // Every replica is quarantined (e.g. the only current copy's site is gone
+  // for good). Prefer availability over a permanent outage: serve the first
+  // replica; reintegration clears the flags as soon as a peer is reachable.
   return &entry->replicas.front();
 }
 
@@ -138,14 +194,19 @@ const Replica* Catalog::OpenForUpdate(const std::string& path, SiteId preferred)
     return nullptr;
   }
   if (entry->update_site == kNoSite) {
-    // Designate the primary update site: prefer a replica at the requester.
-    entry->update_site = entry->replicas.front().site;
+    // Designate the primary update site: prefer a replica at the requester,
+    // else the first current replica. A stale replica must never become the
+    // primary — commits there would propagate a resurrected old image.
+    const Replica* chosen = nullptr;
     for (const Replica& r : entry->replicas) {
-      if (r.site == preferred) {
-        entry->update_site = r.site;
-        break;
+      if (!r.stale && (chosen == nullptr || r.site == preferred)) {
+        chosen = &r;
+        if (r.site == preferred) {
+          break;
+        }
       }
     }
+    entry->update_site = chosen != nullptr ? chosen->site : entry->replicas.front().site;
   }
   entry->update_opens++;
   for (const Replica& r : entry->replicas) {

@@ -20,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/ids.h"
@@ -30,6 +31,11 @@ namespace locus {
 struct Replica {
   SiteId site = kNoSite;
   FileId file;  // The inode backing this replica on that site's volume.
+  // Staleness gate: set when this replica is known to have missed committed
+  // propagations (its site was unreachable when the primary committed), and
+  // cleared only after reintegration verifies or restores currency. A stale
+  // replica is quarantined from serving reads and from primary designation.
+  bool stale = false;
 };
 
 struct CatalogEntry {
@@ -76,7 +82,19 @@ class Catalog {
 
   // Reverse lookup: the path whose entry carries `file` as a replica (used
   // for replica propagation after a commit at the primary update site).
+  // Served by a hash index maintained across create/unlink, so the per-commit
+  // propagation path never scans the namespace.
   std::optional<std::string> PathOf(const FileId& file) const;
+
+  // --- Staleness gate (replica reintegration) ---
+  // Marks / clears the quarantine flag on `site`'s replica of `path`.
+  // Returns true if the entry and replica exist and the flag changed.
+  bool SetReplicaStale(const std::string& path, SiteId site, bool stale);
+  // Paths of every multi-replica file with a replica at `site`; the reboot
+  // reintegration sweep verifies each against its peers.
+  std::vector<std::string> ReplicaPathsAt(SiteId site) const;
+  // Paths whose replica at `site` is currently quarantined as stale.
+  std::vector<std::string> StaleReplicaPathsAt(SiteId site) const;
 
   // Number of path components, used by the kernel to charge name-resolution
   // CPU (section 3.2 calls name mapping "a relatively expensive operation").
@@ -85,6 +103,8 @@ class Catalog {
 
  private:
   std::map<std::string, CatalogEntry> entries_;
+  // Replica file id -> owning path, kept in sync by CreateFileEntry/Remove.
+  std::unordered_map<FileId, std::string, FileIdHash> replica_index_;
 };
 
 }  // namespace locus

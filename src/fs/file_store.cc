@@ -93,6 +93,24 @@ int64_t FileStore::CommittedSize(const FileId& file) const {
   return inode == nullptr ? 0 : inode->size;
 }
 
+uint64_t FileStore::CommitVersion(const FileId& file) const {
+  const FileState* state = FindState(file);
+  if (state != nullptr) {
+    return state->inode.commit_version;
+  }
+  const DiskInode* inode = volume_->PeekInode(file.ino);
+  return inode == nullptr ? 0 : inode->commit_version;
+}
+
+void FileStore::StampCommitVersion(const FileId& file, uint64_t version) {
+  FileState& state = LoadState(file);
+  if (version <= state.inode.commit_version) {
+    return;
+  }
+  state.inode.commit_version = version;
+  volume_->WriteInode(state.inode);
+}
+
 FileStore::FileState* FileStore::FindState(const FileId& file) {
   auto it = files_.find(file);
   return it == files_.end() ? nullptr : &it->second;
@@ -258,6 +276,7 @@ IntentionsList FileStore::FlushWriter(const FileId& file, FileState& state, Writ
   IntentionsList intentions;
   intentions.file = file;
   intentions.base_version = state.inode.version;
+  intentions.commit_version = state.inode.commit_version + 1;
   intentions.new_size = std::max(state.inode.size, writer.max_extent);
   intentions.ranges = writer.dirty.ranges();
 
@@ -307,6 +326,11 @@ void FileStore::InstallIntentions(const IntentionsList& intentions) {
   // Bump the version FIRST: concurrent version-validated page fetches must
   // notice this install the moment any pointer could have changed.
   state.inode.version++;
+  // Advance the replication ordinal. max() keeps redo of an already-installed
+  // intentions list from double-counting, and lets a replica applying an
+  // out-of-band catch-up land exactly on the primary's ordinal.
+  state.inode.commit_version =
+      std::max(state.inode.commit_version + 1, intentions.commit_version);
   for (const PageUpdate& u : intentions.updates) {
     if (u.page_index < static_cast<int32_t>(state.inode.pages.size()) &&
         state.inode.pages[u.page_index] == u.new_page) {
@@ -674,6 +698,11 @@ PageRef FileStore::PageImage(const FileId& file, int32_t slot) {
     return wp->second;
   }
   return CommittedPage(file, state, slot);
+}
+
+PageRef FileStore::CommittedPageImage(const FileId& file, int32_t slot) {
+  FileState& state = LoadState(file);
+  return StableCommittedPage(file, state, slot, nullptr);
 }
 
 std::vector<FileId> FileStore::FilesWithUncommitted(const LockOwner& writer) const {

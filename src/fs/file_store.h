@@ -68,6 +68,12 @@ class FileStore {
   // uncommitted writes).
   int64_t WorkingSize(const FileId& file) const;
   int64_t CommittedSize(const FileId& file) const;
+  // Replication ordinal of the committed image (see DiskInode::commit_version).
+  uint64_t CommitVersion(const FileId& file) const;
+  // Records that the committed image now corresponds to the primary's ordinal
+  // `version` (after a reintegration catch-up applied its pages). Only ever
+  // moves the ordinal forward; persists via the inode block. Blocking.
+  void StampCommitVersion(const FileId& file, uint64_t version);
 
   // --- Data access (blocking; lock enforcement is the kernel's job) ---
   std::vector<uint8_t> Read(const FileId& file, const ByteRange& range);
@@ -132,6 +138,11 @@ class FileStore {
   // exists, else the committed page (blocking on a disk read if uncached).
   // Used by replica propagation so page payloads ride messages by ref.
   PageRef PageImage(const FileId& file, int32_t slot);
+
+  // Committed-only content of page `slot` (never working pages), for serving
+  // reintegration fetches: a catch-up must ship exactly the committed image,
+  // not bytes of transactions still in flight at this site. Blocking.
+  PageRef CommittedPageImage(const FileId& file, int32_t slot);
 
   // --- Crash / recovery ---
   // Site crash: working pages, caches and writer state are volatile.

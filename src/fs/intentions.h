@@ -31,6 +31,10 @@ struct IntentionsList {
   // information the prepare log stores alongside the intentions (section 4.2
   // stores "intentions lists and lock lists").
   uint64_t base_version = 0;
+  // Replication ordinal this install advances the file to (stamped by the
+  // flush as committed commit_version + 1). Install takes the max with its
+  // own increment, so redo after crash and replica catch-up stay idempotent.
+  uint64_t commit_version = 0;
   int64_t new_size = 0;
   // The writer's modified byte ranges (file-wide).
   std::vector<ByteRange> ranges;

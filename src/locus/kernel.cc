@@ -12,7 +12,6 @@ namespace locus {
 namespace {
 
 constexpr int32_t kControlMsgBytes = 96;
-constexpr Pid kReplicatorPid = -2;
 
 template <typename T>
 Message MakeMsg(MsgType type, T payload, int32_t size_bytes = kControlMsgBytes) {
@@ -125,6 +124,20 @@ void Kernel::RegisterBlockingHandler(
 }
 
 void Kernel::Start() {
+  ReintegrationManager::Env env;
+  env.site = site_;
+  env.site_name = net().SiteName(site_);
+  env.sim = &sim();
+  env.net = &net();
+  env.catalog = &catalog();
+  env.stats = &stats();
+  env.trace = &trace();
+  env.store_for = [this](VolumeId v) { return StoreFor(v); };
+  env.spawn = [this](const std::string& name, std::function<void()> body) {
+    return SpawnKernelProcess(name, std::move(body));
+  };
+  recon_ = std::make_unique<ReintegrationManager>(std::move(env));
+
   RegisterBlockingHandler(kOpenReq, [this](SiteId, const Message& m, Responder r) {
     Err err = ServeOpen(m.As<OpenRequest>().file);
     OpenReply reply{err, 0};
@@ -220,6 +233,17 @@ void Kernel::Start() {
       err = store->Truncate(req.file, req.size) ? Err::kOk : Err::kBusy;
     }
     r(MakeMsg(kTruncateReq, err));
+  });
+  RegisterBlockingHandler(kReplicaVersionReq, [this](SiteId, const Message& m, Responder r) {
+    r(MakeMsg(kReplicaVersionReq, recon_->ServeVersion(m.As<ReplicaVersionRequest>())));
+  });
+  RegisterBlockingHandler(kReplicaFetchReq, [this](SiteId, const Message& m, Responder r) {
+    const auto& req = m.As<ReplicaFetchRequest>();
+    ReplicaFetchReply reply = recon_->ServeFetch(req);
+    FileStore* store = StoreFor(req.file.volume);
+    int32_t size = FetchWireBytes(
+        reply, store != nullptr ? store->page_size() : volumes_[0]->page_size());
+    r(MakeMsg(kReplicaFetchReq, std::move(reply), size));
   });
   net().RegisterHandler(site_, kReleasePrimaryReq,
                         [this](SiteId, const Message& m, Responder) {
@@ -532,17 +556,9 @@ void Kernel::ServeReleaseProcess(Pid pid) {
 }
 
 void Kernel::ServeReplicaPropagate(const ReplicaPropagateMsg& msg) {
-  FileStore* store = StoreFor(msg.replica_file.volume);
-  if (store == nullptr || !store->Exists(msg.replica_file)) {
-    return;
-  }
-  LockOwner replicator{kReplicatorPid, kNoTxn};
-  for (const auto& [slot, bytes] : msg.pages) {
-    store->Write(msg.replica_file, replicator,
-                 static_cast<int64_t>(slot) * store->page_size(), *bytes);
-  }
-  store->CommitWriter(msg.replica_file, replicator);
-  stats().Add("fs.replica_propagations");
+  // The version gate (duplicate drop / gap quarantine) and the shadow-page
+  // apply live in the reintegration manager.
+  recon_->ApplyPropagation(msg);
 }
 
 void Kernel::PropagateReplicas(const FileId& primary, const IntentionsList& intentions) {
@@ -560,6 +576,9 @@ void Kernel::PropagateReplicas(const FileId& primary, const IntentionsList& inte
   FileStore* store = StoreFor(primary.volume);
   ReplicaPropagateMsg base;
   base.new_size = store->CommittedSize(primary);
+  // Stamp the primary's post-install ordinal: the replica-side gate applies
+  // this message only in sequence (see ReintegrationManager::ApplyPropagation).
+  base.commit_version = store->CommitVersion(primary);
   int32_t total_bytes = kControlMsgBytes;
   for (const PageUpdate& u : intentions.updates) {
     int64_t offset = static_cast<int64_t>(u.page_index) * store->page_size();
@@ -569,6 +588,12 @@ void Kernel::PropagateReplicas(const FileId& primary, const IntentionsList& inte
   }
   for (const Replica& r : entry->replicas) {
     if (r.site == site_) {
+      continue;
+    }
+    if (!net().Reachable(site_, r.site)) {
+      // The one-way propagation would be dropped on the floor; quarantine the
+      // replica so it cannot serve the old image, until reintegration.
+      recon_->NotePropagationSkipped(*path, r.site);
       continue;
     }
     ReplicaPropagateMsg msg = base;

@@ -28,6 +28,7 @@
 #include "src/locus/messages.h"
 #include "src/net/network.h"
 #include "src/proc/process.h"
+#include "src/recon/recon.h"
 #include "src/sim/simulation.h"
 #include "src/storage/volume.h"
 #include "src/txn/transaction_manager.h"
@@ -101,6 +102,10 @@ class Kernel {
   Err SysTruncate(OsProcess* p, int fd, int64_t size);
   // Directory listing of the transparent namespace.
   Result<std::vector<std::string>> SysReadDir(OsProcess* p, const std::string& path);
+  // Replica currency report for a path (src/recon): one row per replica with
+  // its commit ordinal, quarantine flag, and reachability from this site.
+  Result<std::vector<ReplicaStatusEntry>> SysReplicaStatus(OsProcess* p,
+                                                           const std::string& path);
 
   Err SysBeginTrans(OsProcess* p);
   Err SysEndTrans(OsProcess* p);
@@ -123,6 +128,7 @@ class Kernel {
   LockManager& lock_manager() { return locks_; }
   TransactionManager& txn_manager() { return txns_; }
   BufferPool& buffer_pool() { return pool_; }
+  ReintegrationManager& recon() { return *recon_; }
 
   // --- Crash / recovery ---
   // Tears down all volatile state; resident processes die. Called by
@@ -227,6 +233,8 @@ class Kernel {
   BufferPool pool_;
   std::vector<std::unique_ptr<Volume>> volumes_;
   std::map<VolumeId, std::unique_ptr<FileStore>> stores_;
+  // Replica reconciliation driver (src/recon); created in Start().
+  std::unique_ptr<ReintegrationManager> recon_;
   // Coordinator-log record ids by transaction (volatile index of the root
   // volume's stable log).
   std::map<TxnId, uint64_t> coordinator_log_index_;

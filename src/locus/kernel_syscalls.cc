@@ -145,6 +145,14 @@ Result<int> Kernel::SysOpen(OsProcess* p, const std::string& path, OpenFlags fla
   if (replica == nullptr) {
     return {Err::kNoEnt, -1};
   }
+  if (!flags.write && replica->site != p->site) {
+    // Staleness gate accounting: a co-located replica exists but is
+    // quarantined, so the read is served elsewhere until reintegration.
+    const Replica* local = catalog().ReplicaAt(path, p->site);
+    if (local != nullptr && local->stale) {
+      recon_->NoteStaleReadBlocked();
+    }
+  }
   Err err;
   if (IsLocal(replica->site)) {
     err = ServeOpen(replica->file);
@@ -223,6 +231,14 @@ Result<std::vector<uint8_t>> Kernel::SysRead(OsProcess* p, int fd, int64_t lengt
     // (section 5.2 footnote 8); re-resolve read service.
     const Replica* replica = catalog().ServingReplica(ch->path, p->site);
     if (replica != nullptr && replica->site != ch->storage_site) {
+      if (replica->site != p->site && ch->storage_site == p->site) {
+        // Service is leaving this site; if that is because the local replica
+        // was quarantined, count the blocked stale read.
+        const Replica* local = catalog().ReplicaAt(ch->path, p->site);
+        if (local != nullptr && local->stale) {
+          recon_->NoteStaleReadBlocked();
+        }
+      }
       ch->storage_site = replica->site;
       ch->file = replica->file;
       stats().Add("fs.service_migrations");
@@ -373,6 +389,18 @@ Result<std::vector<std::string>> Kernel::SysReadDir(OsProcess* p, const std::str
     return {Err::kNotDir, {}};
   }
   return {Err::kOk, catalog().List(path)};
+}
+
+Result<std::vector<ReplicaStatusEntry>> Kernel::SysReplicaStatus(OsProcess* p,
+                                                                 const std::string& path) {
+  (void)p;
+  BurnCpu(kSyscallInstructions +
+          kNameResolveInstructionsPerComponent * Catalog::ComponentCount(path));
+  const CatalogEntry* entry = catalog().Lookup(path);
+  if (entry == nullptr || entry->is_dir) {
+    return {Err::kNoEnt, {}};
+  }
+  return {Err::kOk, recon_->CollectStatus(path)};
 }
 
 // ---------------------------------------------------------------------------

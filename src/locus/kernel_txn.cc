@@ -593,6 +593,10 @@ void Kernel::HandleTopologyChange() {
       SpawnPhaseTwo(txn, participants, log_id);
     }
   }
+  // Partition heal / peer reboot: catch up any quarantined local replicas.
+  if (recon_ != nullptr) {
+    recon_->OnTopologyChange();
+  }
 }
 
 void Kernel::OnCrash() {
@@ -627,6 +631,9 @@ void Kernel::OnCrash() {
   abort_done_.clear();
   txn_resolution_in_progress_.clear();
   locally_aborted_.clear();
+  if (recon_ != nullptr) {
+    recon_->OnCrash();
+  }
   stats().Add("sys.crashes");
 }
 
@@ -740,6 +747,10 @@ void Kernel::OnReboot() {
       }
       // kUnknown: outcome pending; the coordinator will tell us.
     }
+    // Replica reintegration: local replicas may have missed propagations
+    // while this site was down; verify each against its peers and catch up
+    // (section 5.2 extended — see src/recon).
+    recon_->OnReboot();
     stats().Add("recovery.completed");
   });
 }

@@ -52,6 +52,10 @@ enum MsgType : int32_t {
   kReleasePrimaryReq,
   // Immediate durable truncation at the storage site.
   kTruncateReq,
+  // Replica reintegration (src/recon): version probe and committed-image
+  // fetch used to bring a behind replica back to currency.
+  kReplicaVersionReq,
+  kReplicaFetchReq,
 };
 
 struct OpenRequest {
@@ -165,6 +169,11 @@ struct KillProcessRequest {
 struct ReplicaPropagateMsg {
   FileId replica_file;  // The inode on the receiving site's volume.
   int64_t new_size = 0;
+  // The primary's replication ordinal after this commit. The replica applies
+  // only the next-in-sequence propagation (local + 1); a duplicate is dropped
+  // and a gap quarantines the replica until reintegration catches it up.
+  // 0 means unversioned (pre-reintegration senders); applied unconditionally.
+  uint64_t commit_version = 0;
   // slot -> shared page image: one copy of the bytes feeds every replica's
   // message (the simulated wire size is still accounted per message).
   std::vector<std::pair<int32_t, PageRef>> pages;

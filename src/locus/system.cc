@@ -185,6 +185,10 @@ Result<std::vector<std::string>> Syscalls::ReadDir(const std::string& path) {
   return kernel().SysReadDir(process_, path);
 }
 
+Result<std::vector<ReplicaStatusEntry>> Syscalls::ReplicaStatus(const std::string& path) {
+  return kernel().SysReplicaStatus(process_, path);
+}
+
 Err Syscalls::BeginTrans() { return kernel().SysBeginTrans(process_); }
 Err Syscalls::EndTrans() { return kernel().SysEndTrans(process_); }
 Err Syscalls::AbortTrans() { return kernel().SysAbortTrans(process_); }

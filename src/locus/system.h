@@ -130,6 +130,9 @@ class Syscalls {
   Err Truncate(int fd, int64_t size);
   // Names of the direct children of a directory.
   Result<std::vector<std::string>> ReadDir(const std::string& path);
+  // Replica currency of a path (src/recon): per-replica commit ordinal,
+  // quarantine flag, reachability, and whether it matches the current maximum.
+  Result<std::vector<ReplicaStatusEntry>> ReplicaStatus(const std::string& path);
 
   // --- Transactions (section 2) ---
   Err BeginTrans();

@@ -41,6 +41,12 @@ struct DiskInode {
   Ino ino = kNoIno;
   int64_t size = 0;
   uint64_t version = 0;
+  // Monotonic count of committed installs, stamped at the primary update site
+  // and carried to replicas by propagation / reintegration. Unlike `version`
+  // (which also moves on truncate and counts every local install), this is
+  // the replication currency ordinal: replicas of one file compare equal iff
+  // their commit_version matches.
+  uint64_t commit_version = 0;
   std::vector<PageId> pages;
 };
 

@@ -105,7 +105,7 @@ DebitCreditResults DebitCreditWorkload::Execute() {
     // Setup: one branch file per branch, stored at branch % sites.
     for (int b = 0; b < cfg.branches; ++b) {
       sys.Fork(b % sites, [&, b](Syscalls& child) {
-        child.Creat(BranchPath(b));
+        child.Creat(BranchPath(b), cfg.replication);
         auto fd = child.Open(BranchPath(b), {.read = true, .write = true});
         if (!fd.ok()) {
           return;

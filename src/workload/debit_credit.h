@@ -20,6 +20,7 @@ namespace locus {
 
 struct DebitCreditConfig {
   int branches = 2;              // One account file per branch, branch b at site b % sites.
+  int replication = 1;           // Replicas per branch file (chaos bench runs with >1).
   int accounts_per_branch = 8;
   int64_t initial_balance = 1000;
   int tellers = 4;

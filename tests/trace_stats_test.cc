@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/locus/system.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
 
@@ -43,6 +44,21 @@ TEST(StatRegistry, AddGetReset) {
   EXPECT_EQ(stats.Get("x"), 5);
   stats.Reset();
   EXPECT_EQ(stats.Get("x"), 0);
+}
+
+// The reconciliation counters are interned at kernel start, so they appear in
+// the counter export (with zero values) even before any fault occurs — dash
+// boards and the bench JSON can rely on the keys being present.
+TEST(StatRegistry, SurfacesReconciliationCounters) {
+  System system(2);
+  auto counters = system.stats().counters();
+  for (const char* key : {"recon.catchup_pages", "recon.stale_reads_blocked",
+                          "recon.reintegrations", "recon.stale_marks",
+                          "recon.duplicate_propagations_dropped",
+                          "recon.gap_quarantines"}) {
+    ASSERT_TRUE(counters.count(key)) << key;
+    EXPECT_EQ(counters.at(key), 0) << key;
+  }
 }
 
 TEST(LatencyStat, TracksMinMaxMean) {
