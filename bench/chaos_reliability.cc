@@ -23,9 +23,16 @@ namespace locus {
 namespace bench {
 namespace {
 
+// --audit runs every scenario with the runtime protocol auditor observing
+// (src/audit); any protocol violation fails the whole run.
+bool g_audit = false;
+
 struct ScenarioResult {
   DebitCreditResults workload;
   int blocked = 0;
+  int64_t audit_checks = 0;
+  int64_t audit_violations = 0;
+  std::string audit_summary;
   // Replicated scenarios only: post-fault replica currency and byte equality.
   bool checked_replicas = false;
   bool replicas_current = true;
@@ -83,7 +90,7 @@ void CheckReplicas(System& system, const DebitCreditConfig& config,
 // replicated and the post-run replica audit is performed.
 ScenarioResult RunScenario(uint64_t seed, std::function<void(Syscalls&)> faults,
                            int replication = 1) {
-  System system(3, SystemOptions{.seed = seed});
+  System system(3, SystemOptions{.seed = seed, .audit = g_audit});
   if (faults) {
     system.Spawn(2, "fault-injector", std::move(faults));
   }
@@ -102,17 +109,32 @@ ScenarioResult RunScenario(uint64_t seed, std::function<void(Syscalls&)> faults,
     result.checked_replicas = true;
     CheckReplicas(system, config, &result);
   }
+  result.audit_checks = system.audit().check_count();
+  result.audit_violations = system.audit().violation_count();
+  if (result.audit_violations > 0) {
+    result.audit_summary = system.audit().Summary();
+  }
   return result;
 }
 
 // A scenario passes when the audit completed with money conserved, nothing
-// stayed wedged, and (if replicated) every replica ended current and equal.
+// stayed wedged, (if replicated) every replica ended current and equal, and
+// (under --audit) the protocol auditor saw no violations.
 bool Healthy(const ScenarioResult& r) {
   return r.workload.audit_complete && r.workload.conserved() && r.blocked == 0 &&
-         r.replicas_current && r.replicas_equal;
+         r.replicas_current && r.replicas_equal && r.audit_violations == 0;
 }
 
+// Total protocol violations across every printed scenario (only meaningful
+// under --audit; always zero otherwise).
+int64_t g_violations_seen = 0;
+
 void PrintRow(const char* name, const ScenarioResult& r, JsonReport* report) {
+  g_violations_seen += r.audit_violations;
+  if (!r.audit_summary.empty()) {
+    fprintf(stderr, "--- protocol violations in '%s' ---\n%s", name,
+            r.audit_summary.c_str());
+  }
   // "conserved" is only meaningful when every branch was readable by audit
   // time; permanently in-doubt records (the classic 2PC blocking window,
   // when a coordinator dies for good) make the audit incomplete instead.
@@ -122,9 +144,12 @@ void PrintRow(const char* name, const ScenarioResult& r, JsonReport* report) {
   const char* replicas = !r.checked_replicas ? "n/a"
                          : (r.replicas_current && r.replicas_equal) ? "yes"
                                                                     : "NO";
-  printf("%-36s %8d %9s %7s %5s %8s\n", name, r.workload.committed, conserved,
-         r.workload.audit_complete ? "yes" : "NO", r.blocked == 0 ? "yes" : "NO",
-         replicas);
+  const char* protocol = !g_audit ? "n/a"
+                         : r.audit_violations == 0 ? "yes"
+                                                   : "NO";
+  printf("%-36s %8d %9s %7s %5s %8s %8s\n", name, r.workload.committed,
+         conserved, r.workload.audit_complete ? "yes" : "NO",
+         r.blocked == 0 ? "yes" : "NO", replicas, protocol);
   report->Add("chaos_reliability", name, r.workload.throughput_tps(),
               ToMilliseconds(r.workload.makespan));
 }
@@ -132,9 +157,9 @@ void PrintRow(const char* name, const ScenarioResult& r, JsonReport* report) {
 bool RunTables(JsonReport* report) {
   PrintHeader("Reliability under faults (extension)",
               "the abstract's claim: 'behave reasonably in the face of failures'");
-  printf("%-36s %8s %9s %7s %5s %8s\n", "scenario", "commits", "conserved",
-         "audited", "live", "replicas");
-  printf("----------------------------------------------------------------------------\n");
+  printf("%-36s %8s %9s %7s %5s %8s %8s\n", "scenario", "commits", "conserved",
+         "audited", "live", "replicas", "protocol");
+  printf("-------------------------------------------------------------------------------------\n");
 
   PrintRow("no faults", RunScenario(1, nullptr), report);
 
@@ -208,7 +233,7 @@ bool RunTables(JsonReport* report) {
   }, /*replication=*/3);
   PrintRow("partition + heal (repl=3)", partition_heal, report);
 
-  printf("----------------------------------------------------------------------------\n");
+  printf("-------------------------------------------------------------------------------------\n");
   printf("expected: 'conserved' and 'live' are yes in every row, 'replicas' is\n");
   printf("yes in the replicated rows; the commit count drops as faults abort\n");
   printf("in-flight transactions (atomically).\n");
@@ -216,6 +241,11 @@ bool RunTables(JsonReport* report) {
   bool ok = Healthy(replica_crash) && Healthy(partition_heal);
   if (!ok) {
     fprintf(stderr, "chaos_reliability: replicated-scenario invariants VIOLATED\n");
+  }
+  if (g_audit && g_violations_seen > 0) {
+    fprintf(stderr, "chaos_reliability: %lld protocol violations under --audit\n",
+            static_cast<long long>(g_violations_seen));
+    ok = false;
   }
   return ok;
 }
@@ -232,6 +262,14 @@ BENCHMARK(BM_FaultScenario)->Unit(benchmark::kMillisecond);
 }  // namespace locus
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--audit") {
+      locus::bench::g_audit = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   std::string json_path = locus::bench::ExtractJsonPath(&argc, argv);
   locus::bench::JsonReport report;
   bool ok = locus::bench::RunTables(&report);

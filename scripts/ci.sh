@@ -1,7 +1,17 @@
 #!/usr/bin/env bash
-# CI gate: regular build + full test suite, then an AddressSanitizer build
-# running the randomized lock-index differential test (the data structure
-# most recently rewritten for performance).
+# CI gate, in dependency order of cheapness:
+#   1. determinism lint (scripts/lint_locus.py) — and a self-test that the
+#      linter still detects every violation class seeded in scripts/lint_fixture
+#   2. RelWithDebInfo build + full test suite
+#   3. benchmark regression snapshot (scale table)
+#   4. chaos reliability scenarios with the runtime protocol auditor observing
+#      (--audit: any 2PL / 2PC / shadow-page violation fails the run)
+#   5. UndefinedBehaviorSanitizer build + full test suite
+#   6. AddressSanitizer build + full test suite
+#
+# Build trees (build/, build-ubsan/, build-asan/) are reused incrementally:
+# the first cold run compiles three trees (~20 min at -j1); warm runs finish
+# in a few minutes.
 #
 # Usage: scripts/ci.sh [jobs]
 
@@ -9,6 +19,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+
+echo "=== determinism lint ==="
+python3 scripts/lint_locus.py
+if python3 scripts/lint_locus.py scripts/lint_fixture >/dev/null 2>&1; then
+  echo "lint_locus.py failed to flag the seeded fixture violations" >&2
+  exit 1
+fi
+echo "lint fixture self-test: seeded violations detected"
 
 echo "=== build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
@@ -22,14 +40,24 @@ echo "=== benchmark regression snapshot ==="
     --benchmark_filter=NONE >/dev/null
 cat build/BENCH_scale.json
 
-echo "=== chaos reliability scenarios (exit nonzero on invariant violation) ==="
-./build/bench/chaos_reliability --json=build/BENCH_chaos.json \
+echo "=== chaos reliability under the protocol auditor ==="
+./build/bench/chaos_reliability --audit --json=build/BENCH_chaos.json \
     --benchmark_filter=NONE
 cat build/BENCH_chaos.json
 
-echo "=== ASAN build + lock differential test ==="
+echo "=== UBSAN build + full test suite ==="
+cmake -B build-ubsan -S . -DLOCUS_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+(cd build-ubsan && ctest --output-on-failure)
+
+echo "=== ASAN build + full test suite ==="
 cmake -B build-asan -S . -DLOCUS_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target lock_index_test
-./build-asan/tests/lock_index_test
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure)
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy (src/lock, src/txn) ==="
+  clang-tidy -p build src/lock/*.cc src/txn/*.cc -- -std=c++20 -I.
+fi
 
 echo "=== ci.sh: all green ==="

@@ -1,0 +1,42 @@
+// Seeded lint-failure fixture: every block below violates one rule that
+// scripts/lint_locus.py enforces. This file is NOT compiled — it exists so CI
+// can assert the linter still detects each violation class (the lint run over
+// this directory must exit nonzero).
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace lint_fixture {
+
+// Violation: non-seeded C randomness.
+int BadRandom() { return std::rand(); }
+
+// Violation: hardware entropy source.
+unsigned BadEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+// Violation: wall-clock read.
+long BadClock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Violation: hash-order iteration without a justification comment.
+int BadIteration(const std::unordered_map<int, int>& table) {
+  int sum = 0;
+  for (const auto& [key, value] : table) {
+    sum += value;
+  }
+  return sum;
+}
+
+// Violation: stat counter that is not a lowercase dotted identifier.
+struct FakeStats {
+  void Add(const char*) {}
+};
+void BadStatName(FakeStats& stats) { stats.Add("Lock.ReadDenied"); }
+
+}  // namespace lint_fixture

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Determinism and convention lint for the Locus simulator.
+
+The simulation must be bit-reproducible from its seed, so three classes of
+defect are machine-checked here rather than left to review:
+
+1. Nondeterminism sources. Wall-clock reads and non-seeded randomness
+   (std::rand, std::random_device, chrono clocks, gettimeofday, ...) are
+   banned everywhere except src/sim/random.h, the one sanctioned randomness
+   facility. Suppress a deliberate use with `// nondet-ok` on the line.
+
+2. Unordered-container iteration. Iterating a std::unordered_map/set visits
+   elements in hash order, which varies across libstdc++ versions and
+   pointer layouts; any range-for over one must either be justified as
+   order-insensitive or sort first. Justify with `// sorted`,
+   `// order-insensitive`, or `// unordered-ok` on the loop line or within
+   the two lines above it.
+
+3. Stat-counter names. Whole-literal names passed to StatRegistry::Add or
+   Intern must be lowercase dotted identifiers ("lock.read_denied") so the
+   bench JSON and dashboards can rely on a uniform namespace.
+
+Usage: scripts/lint_locus.py [path ...]     (default: src/)
+Exits nonzero if any finding is reported.
+"""
+
+import os
+import re
+import sys
+
+NONDET_ALLOWED_FILES = {os.path.join("src", "sim", "random.h")}
+NONDET_SUPPRESS = "nondet-ok"
+ORDER_JUSTIFICATIONS = ("sorted", "order-insensitive", "unordered-ok")
+
+# Each entry: (regex, human-readable reason).
+NONDET_PATTERNS = [
+    (re.compile(r"\bstd::rand\b|\brand\(\)|\bsrand\("),
+     "non-seeded C randomness (use src/sim/random.h)"),
+    (re.compile(r"\bstd::random_device\b|\brandom_device\b"),
+     "hardware entropy source (breaks seed reproducibility)"),
+    (re.compile(r"\bmt19937(_64)?\b"),
+     "raw mersenne twister (route through src/sim/random.h)"),
+    (re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)::now\b"),
+     "wall-clock read (use Simulation::Now for virtual time)"),
+    (re.compile(r"\bgettimeofday\b|\bclock_gettime\b"),
+     "wall-clock read (use Simulation::Now for virtual time)"),
+    (re.compile(r"\btime\(\s*(NULL|nullptr|0)?\s*\)"),
+     "wall-clock read (use Simulation::Now for virtual time)"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<.*?>\s*&?\s*"
+    r"(?:[A-Za-z_][A-Za-z0-9_]*\s*\(\s*\)\s*const\s*\{\s*return\s+"
+    r"(?P<accessor>[A-Za-z_][A-Za-z0-9_]*)|(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*[;={,)])")
+
+RANGE_FOR = re.compile(r"for\s*\(.*?:\s*\*?(?P<expr>[A-Za-z_][A-Za-z0-9_]*)\s*\)")
+
+STAT_CALL = re.compile(r"\b(?:Add|Intern)\(\s*\"(?P<name>[^\"]+)\"\s*[,)]")
+STAT_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comment(line):
+    return LINE_COMMENT.sub("", line)
+
+
+def unordered_names(text):
+    """Names declared (or returned by accessors) as unordered containers."""
+    names = set()
+    for m in UNORDERED_DECL.finditer(text):
+        name = m.group("name") or m.group("accessor")
+        if name:
+            names.add(name)
+    return names
+
+
+def repo_includes(text, root, source_path):
+    """Repo-relative paths of quoted includes that resolve inside the repo."""
+    out = []
+    for m in re.finditer(r'#include\s+"([^"]+)"', text):
+        inc = m.group(1)
+        for base in (root, os.path.dirname(source_path)):
+            candidate = os.path.join(base, inc)
+            if os.path.isfile(candidate):
+                out.append(candidate)
+                break
+    return out
+
+
+def lint_file(path, rel, root, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+    text = "\n".join(lines)
+
+    # --- 1. nondeterminism sources ---
+    if rel not in NONDET_ALLOWED_FILES:
+        for i, line in enumerate(lines, 1):
+            if NONDET_SUPPRESS in line:
+                continue
+            code = strip_comment(line)
+            for pattern, reason in NONDET_PATTERNS:
+                if pattern.search(code):
+                    findings.append(f"{rel}:{i}: nondeterminism: {reason}")
+
+    # --- 2. unordered-container iteration ---
+    names = unordered_names(text)
+    for inc in repo_includes(text, root, path):
+        with open(inc, encoding="utf-8", errors="replace") as f:
+            names |= unordered_names(f.read())
+    if names:
+        for i, line in enumerate(lines, 1):
+            m = RANGE_FOR.search(strip_comment(line))
+            if not m or m.group("expr") not in names:
+                continue
+            window = " ".join(lines[max(0, i - 3):i])
+            if any(j in window for j in ORDER_JUSTIFICATIONS):
+                continue
+            findings.append(
+                f"{rel}:{i}: hash-order iteration over unordered container "
+                f"'{m.group('expr')}' without a '// sorted' / "
+                f"'// order-insensitive' justification")
+
+    # --- 3. stat-counter naming ---
+    for i, line in enumerate(lines, 1):
+        for m in STAT_CALL.finditer(line):
+            name = m.group("name")
+            if name.endswith(".") or "." not in name:
+                # Prefix fragments ("cpu." + site) are composed at runtime;
+                # only whole dotted literals are validated.
+                continue
+            if not STAT_NAME.match(name):
+                findings.append(
+                    f"{rel}:{i}: stat counter '{name}' is not a lowercase "
+                    f"dotted identifier")
+
+
+def main(argv):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = argv[1:] or [os.path.join(root, "src")]
+    findings = []
+    checked = 0
+    for target in targets:
+        if os.path.isfile(target):
+            paths = [target]
+        else:
+            paths = []
+            for dirpath, _, filenames in os.walk(target):
+                for name in sorted(filenames):
+                    if name.endswith((".h", ".cc", ".cpp")):
+                        paths.append(os.path.join(dirpath, name))
+        for path in sorted(paths):
+            rel = os.path.relpath(path, root)
+            lint_file(path, rel, root, findings)
+            checked += 1
+    for finding in findings:
+        print(finding)
+    print(f"lint_locus: {checked} files checked, {len(findings)} findings",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

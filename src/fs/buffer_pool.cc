@@ -10,6 +10,9 @@ PageRef BufferPool::Lookup(const Key& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
+  if (Audited()) {
+    audit_->OnPoolLookup(key.file, key.page_index, it->second->second.get());
+  }
   return it->second->second;
 }
 
@@ -18,9 +21,15 @@ void BufferPool::Insert(const Key& key, PageRef data) {
   if (it != entries_.end()) {
     it->second->second = std::move(data);
     lru_.splice(lru_.begin(), lru_, it->second);
+    if (Audited()) {
+      audit_->OnPoolInsert(key.file, key.page_index, it->second->second.get());
+    }
     return;
   }
   while (static_cast<int32_t>(entries_.size()) >= capacity_ && !lru_.empty()) {
+    if (Audited()) {
+      audit_->OnPoolForget(lru_.back().first.file, lru_.back().first.page_index);
+    }
     entries_.erase(lru_.back().first);
     lru_.pop_back();
   }
@@ -29,12 +38,18 @@ void BufferPool::Insert(const Key& key, PageRef data) {
   }
   lru_.emplace_front(key, std::move(data));
   entries_[key] = lru_.begin();
+  if (Audited()) {
+    audit_->OnPoolInsert(key.file, key.page_index, lru_.front().second.get());
+  }
 }
 
 void BufferPool::Erase(const Key& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return;
+  }
+  if (Audited()) {
+    audit_->OnPoolForget(key.file, key.page_index);
   }
   lru_.erase(it->second);
   entries_.erase(it);
@@ -43,6 +58,9 @@ void BufferPool::Erase(const Key& key) {
 void BufferPool::InvalidateFile(const FileId& file) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.file == file) {
+      if (Audited()) {
+        audit_->OnPoolForget(it->first.file, it->first.page_index);
+      }
       lru_.erase(it->second);
       it = entries_.erase(it);
     } else {
@@ -52,6 +70,11 @@ void BufferPool::InvalidateFile(const FileId& file) {
 }
 
 void BufferPool::Clear() {
+  if (Audited()) {
+    for (const auto& [key, node] : entries_) {  // order-insensitive: per-key forget
+      audit_->OnPoolForget(key.file, key.page_index);
+    }
+  }
   entries_.clear();
   lru_.clear();
 }

@@ -241,6 +241,9 @@ void FileStore::Write(const FileId& file, const LockOwner& writer, int64_t offse
   FileState& state = LoadState(file);
   Writer& w = WriterFor(state, writer);
   ByteRange range{offset, static_cast<int64_t>(bytes.size())};
+  if (Audited()) {
+    audit_->OnStoreWrite(site_name_, file, range, writer);
+  }
   int32_t first = static_cast<int32_t>(range.start / page_size());
   int32_t last = static_cast<int32_t>((range.end() - 1) / page_size());
   for (int32_t slot = first; slot <= last; ++slot) {
@@ -321,6 +324,9 @@ IntentionsList FileStore::FlushWriter(const FileId& file, FileState& state, Writ
 }
 
 void FileStore::InstallIntentions(const IntentionsList& intentions) {
+  if (Audited()) {
+    audit_->OnInstall(site_name_, intentions);
+  }
   FileState& state = LoadState(intentions.file);
   const uint64_t version_at_entry = state.inode.version;
   // Bump the version FIRST: concurrent version-validated page fetches must
@@ -486,6 +492,9 @@ IntentionsList FileStore::CommitWriter(const FileId& file, const LockOwner& writ
     return empty;
   }
   w->resolving = true;
+  if (Audited()) {
+    audit_->OnSingleFileCommit(site_name_, file, writer);
+  }
   IntentionsList intentions = FlushWriter(file, state, *w);
   InstallIntentions(intentions);
   FinishCommit(file, state, writer);
@@ -511,6 +520,9 @@ std::optional<IntentionsList> FileStore::PrepareWriter(const FileId& file,
   // The writer survives until phase two installs or discards the
   // intentions; later resolution calls may proceed.
   w->resolving = false;
+  if (Audited() && writer.txn.valid()) {
+    audit_->OnPrepareFlushed(site_name_, writer.txn, intentions);
+  }
   return intentions;
 }
 
@@ -527,6 +539,9 @@ bool FileStore::AbortWriter(const FileId& file, const LockOwner& writer) {
     return false;  // A resolution (e.g. a prepare flush) is in flight; retry.
   }
   w->resolving = true;
+  if (Audited() && writer.txn.valid()) {
+    audit_->OnAbortWriterEffect(site_name_, file, writer.txn);
+  }
   Cpu(kCommitBaseInstructions / 2);
   for (const auto& [slot, shadow] : w->shadow_pages) {
     auto wp = state->working_pages.find(slot);
@@ -564,6 +579,9 @@ bool FileStore::AbortWriter(const FileId& file, const LockOwner& writer) {
 }
 
 void FileStore::DiscardIntentions(const IntentionsList& intentions) {
+  if (Audited()) {
+    audit_->OnDiscard(site_name_, intentions);
+  }
   trace_->Log(sim_->Now(), site_name_, "discard %s: %zu updates",
               ToString(intentions.file).c_str(), intentions.updates.size());
   for (const PageUpdate& u : intentions.updates) {
@@ -586,6 +604,24 @@ std::vector<ByteRange> FileStore::DirtyRangesOfOthers(const FileId& file,
     }
     for (const ByteRange& r : w.dirty.ranges()) {
       out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<TxnId, ByteRange>> FileStore::TransactionalDirtyOfOthers(
+    const FileId& file, const ByteRange& range, const LockOwner& owner) const {
+  std::vector<std::pair<TxnId, ByteRange>> out;
+  const FileState* state = FindState(file);
+  if (state == nullptr) {
+    return out;
+  }
+  for (const Writer& w : state->writers) {
+    if (!w.owner.txn.valid() || w.owner.SameAs(owner)) {
+      continue;
+    }
+    for (const ByteRange& r : w.dirty.IntersectionsWith(range)) {
+      out.emplace_back(w.owner.txn, r);
     }
   }
   return out;

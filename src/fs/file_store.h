@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/base/ids.h"
 #include "src/fs/buffer_pool.h"
 #include "src/fs/intentions.h"
@@ -116,6 +117,11 @@ class FileStore {
   // Byte ranges of `file` modified-but-uncommitted by writers other than
   // `owner`.
   std::vector<ByteRange> DirtyRangesOfOthers(const FileId& file, const LockOwner& owner) const;
+  // Uncommitted ranges of *transactional* writers that are not SameAs `owner`,
+  // intersected with `range` (audit isolation check). Non-transaction writers
+  // are excluded: sharing with them is legal conventional (Unix-mode) sharing.
+  std::vector<std::pair<TxnId, ByteRange>> TransactionalDirtyOfOthers(
+      const FileId& file, const ByteRange& range, const LockOwner& owner) const;
   // Transfers the dirty ranges overlapping `range` (and the shadow-page
   // claims backing them) from their current writers to `adopter`, so they
   // commit or abort with the adopter (rule 2). Returns the adopted ranges.
@@ -150,6 +156,9 @@ class FileStore {
   // Shadow pages named by unresolved prepare-log intentions, for allocation
   // rebuild during recovery.
   static std::vector<PageId> PagesNamedBy(const IntentionsList& intentions);
+
+  // Protocol auditor observing this store's writes and commits (may be null).
+  void set_auditor(ProtocolAuditor* audit) { audit_ = audit; }
 
  private:
   struct Writer {
@@ -200,7 +209,10 @@ class FileStore {
   // Post-install cleanup of writer/working state after a commit.
   void FinishCommit(const FileId& file, FileState& state, const LockOwner& owner);
 
+  bool Audited() const { return audit_ != nullptr && audit_->enabled(); }
+
   Simulation* sim_;
+  ProtocolAuditor* audit_ = nullptr;
   Volume* volume_;
   BufferPool* pool_;
   StatRegistry* stats_;

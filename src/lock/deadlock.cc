@@ -41,7 +41,7 @@ std::vector<std::vector<LockOwner>> WaitForGraph::FindCycles() const {
   std::set<std::string> done;
 
   for (const auto& [start, unused] : adjacency_) {
-    if (done.count(start)) {
+    if (done.contains(start)) {
       continue;
     }
     std::vector<std::string> stack;
@@ -63,7 +63,7 @@ std::vector<std::vector<LockOwner>> WaitForGraph::FindCycles() const {
         continue;
       }
       const std::string& next = adj[idx++];
-      if (on_stack.count(next)) {
+      if (on_stack.contains(next)) {
         // Back edge: the cycle is the stack slice from `next` onward.
         std::vector<LockOwner> cycle;
         auto it = std::find(stack.begin(), stack.end(), next);
@@ -73,7 +73,7 @@ std::vector<std::vector<LockOwner>> WaitForGraph::FindCycles() const {
         cycles.push_back(std::move(cycle));
         continue;
       }
-      if (done.count(next)) {
+      if (done.contains(next)) {
         continue;
       }
       frames.push_back({next, 0});

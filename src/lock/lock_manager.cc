@@ -13,6 +13,9 @@ void LockManager::Request(const FileId& file, const ByteRange& range, const Lock
   if (list.CanGrant(r, owner, mode)) {
     list.Grant(r, owner, mode, non_transaction);
     stats_->Add(ids_.granted);
+    if (Audited()) {
+      audit_->OnLockGranted(site_name_, file, r, owner, mode, non_transaction);
+    }
     callback(true, r);
     return;
   }
@@ -32,6 +35,9 @@ void LockManager::Unlock(const FileId& file, const ByteRange& range, const LockO
     return;
   }
   it->second.Unlock(range, owner);
+  if (Audited()) {
+    audit_->OnUnlock(file, range, owner);
+  }
   RetryWaiters();
 }
 
@@ -44,16 +50,22 @@ void LockManager::MarkDirtyCovered(const FileId& file, const ByteRange& range,
 }
 
 void LockManager::ReleaseTransaction(const TxnId& txn) {
-  for (auto& [file, list] : files_) {
+  for (auto& [file, list] : files_) {  // order-insensitive: per-list release
     list.ReleaseTransaction(txn);
+  }
+  if (Audited()) {
+    audit_->OnTxnLocksReleased(site_name_, txn, FileKeys());
   }
   CancelWaiters(LockOwner{kNoPid, txn});
   RetryWaiters();
 }
 
 void LockManager::ReleaseProcess(Pid pid) {
-  for (auto& [file, list] : files_) {
+  for (auto& [file, list] : files_) {  // order-insensitive: per-list release
     list.ReleaseProcess(pid);
+  }
+  if (Audited()) {
+    audit_->OnProcessLocksReleased(pid, FileKeys());
   }
   CancelWaiters(LockOwner{pid, kNoTxn});
   RetryWaiters();
@@ -86,6 +98,10 @@ void LockManager::RetryWaiters() {
       if (list.CanGrant(it->range, it->owner, it->mode)) {
         list.Grant(it->range, it->owner, it->mode, it->non_transaction);
         stats_->Add(ids_.granted);
+        if (Audited()) {
+          audit_->OnLockGranted(site_name_, it->file, it->range, it->owner, it->mode,
+                                it->non_transaction);
+        }
         GrantCallback cb = std::move(it->callback);
         ByteRange granted = it->range;
         waiting_.erase(it);
@@ -156,7 +172,7 @@ std::vector<TxnId> LockManager::TransactionsWithLocks() const {
   // spawn order stays deterministic now that files_ is hashed.
   std::vector<const FileId*> keys;
   keys.reserve(files_.size());
-  for (const auto& [file, list] : files_) {
+  for (const auto& [file, list] : files_) {  // order-insensitive: sorted below
     keys.push_back(&file);
   }
   std::sort(keys.begin(), keys.end(),
@@ -176,6 +192,15 @@ std::vector<TxnId> LockManager::TransactionsWithLocks() const {
 void LockManager::Clear() {
   files_.clear();
   waiting_.clear();
+}
+
+std::vector<FileId> LockManager::FileKeys() const {
+  std::vector<FileId> keys;
+  keys.reserve(files_.size());
+  for (const auto& [file, list] : files_) {  // order-insensitive: set of keys
+    keys.push_back(file);
+  }
+  return keys;
 }
 
 }  // namespace locus

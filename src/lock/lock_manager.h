@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/base/ids.h"
 #include "src/lock/lock_list.h"
 #include "src/sim/stats.h"
@@ -101,6 +102,9 @@ class LockManager {
   // without callbacks (their RPCs fail through the network layer).
   void Clear();
 
+  // Protocol auditor observing this site's lock table (may be null).
+  void set_auditor(ProtocolAuditor* audit) { audit_ = audit; }
+
  private:
   struct Waiting {
     uint64_t seq;
@@ -116,6 +120,11 @@ class LockManager {
   // Grants whatever newly-compatible queued requests exist, FIFO.
   void RetryWaiters();
 
+  bool Audited() const { return audit_ != nullptr && audit_->enabled(); }
+  // The FileIds this manager has lock lists for, for audit release hooks.
+  std::vector<FileId> FileKeys() const;
+
+  ProtocolAuditor* audit_ = nullptr;
   TraceLog* trace_;
   StatRegistry* stats_;
   std::string site_name_;

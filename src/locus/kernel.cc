@@ -41,7 +41,11 @@ Kernel::Kernel(System* system, SiteId site)
       cpu_id_(system->stats().Intern("cpu." + system->net().SiteName(site))),
       locks_(&system->trace(), &system->stats(), system->net().SiteName(site)),
       txns_(&system->sim(), site),
-      pool_(system->options().pool_pages) {}
+      pool_(system->options().pool_pages) {
+  locks_.set_auditor(&system->audit());
+  txns_.set_auditor(&system->audit());
+  pool_.set_auditor(&system->audit());
+}
 
 Simulation& Kernel::sim() { return system_->sim(); }
 Network& Kernel::net() { return system_->net(); }
@@ -68,6 +72,7 @@ void Kernel::AttachVolume(std::unique_ptr<Volume> volume) {
   volumes_.push_back(std::move(volume));
   stores_[raw->id()] = std::make_unique<FileStore>(&sim(), raw, &pool_, &stats(), &trace(),
                                                    net().SiteName(site_));
+  stores_[raw->id()]->set_auditor(&system_->audit());
 }
 
 Volume* Kernel::FindVolume(VolumeId id) {
@@ -303,6 +308,16 @@ ReadReply Kernel::ServeRead(const ReadRequest& req) {
     stats().Add("lock.read_denied");
     return ReadReply{Err::kAccess, {}};
   }
+  // A request from a transaction already aborted at this site raced the
+  // abort cascade; serving it would expose rolled-back state.
+  if (req.owner.txn.valid() && locally_aborted_.count(req.owner.txn) != 0) {
+    return ReadReply{Err::kAborted, {}};
+  }
+  if (system_->audit().enabled()) {
+    system_->audit().OnServeRead(
+        net().SiteName(site_), req.file, req.range, req.owner,
+        store->TransactionalDirtyOfOthers(req.file, req.range, req.owner));
+  }
   return ReadReply{Err::kOk, store->Read(req.file, req.range)};
 }
 
@@ -315,6 +330,9 @@ WriteReply Kernel::ServeWrite(const WriteRequest& req) {
   if (!locks_.MayWrite(req.file, range, req.owner)) {
     stats().Add("lock.write_denied");
     return WriteReply{Err::kAccess, 0};
+  }
+  if (req.owner.txn.valid() && locally_aborted_.count(req.owner.txn) != 0) {
+    return WriteReply{Err::kAborted, 0};
   }
   store->Write(req.file, req.owner, req.offset, req.bytes);
   return WriteReply{Err::kOk, store->WorkingSize(req.file)};
@@ -400,6 +418,9 @@ void Kernel::MaybeReleasePrimary(const FileId& file) {
 
 Err Kernel::ServePrepare(const PrepareRequest& req) {
   LockOwner owner{kNoPid, req.txn};
+  if (system_->audit().enabled()) {
+    system_->audit().OnPrepareRequest(net().SiteName(site_), req.txn);
+  }
   if (locally_aborted_.count(req.txn) != 0) {
     return Err::kAborted;  // The topology protocol aborted it here already.
   }
@@ -445,10 +466,16 @@ Err Kernel::ServePrepare(const PrepareRequest& req) {
     }
   }
   Trace("prepared %s (%zu files)", ToString(req.txn).c_str(), req.files.size());
+  if (system_->audit().enabled()) {
+    system_->audit().OnPrepared(net().SiteName(site_), req.txn);
+  }
   return Err::kOk;
 }
 
 void Kernel::ServeCommitTxn(const TxnId& txn) {
+  if (system_->audit().enabled()) {
+    system_->audit().OnCommitMessage(net().SiteName(site_), txn);
+  }
   if (!txn_resolution_in_progress_.insert(txn).second) {
     return;  // A duplicate message raced an in-flight resolution.
   }

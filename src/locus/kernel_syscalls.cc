@@ -449,6 +449,12 @@ Result<ByteRange> Kernel::RequestLock(OsProcess* p, Channel& ch, LockRequest req
   }
   p->lock_cache[ch.file].Grant(reply.granted, req.owner, req.mode, req.non_transaction);
   p->lock_sites.insert(ch.storage_site);
+  if (system_->audit().enabled()) {
+    // The strict-2PL acquire point: the requester accepted the grant into its
+    // cache (stale grants were undone above and never reach here).
+    system_->audit().OnLockAccepted(net().SiteName(site_), ch.file, reply.granted,
+                                    req.owner, req.mode);
+  }
   stats().Add("sys.locks_granted");
   return {Err::kOk, reply.granted};
 }

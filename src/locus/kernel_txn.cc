@@ -137,6 +137,10 @@ Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
   if (record->files.empty()) {
     // Nothing used: trivial commit, no logs (the common nested-composition
     // case where an inner call did all the work of a larger transaction).
+    if (system_->audit().enabled()) {
+      system_->audit().OnCommitPoint(net().SiteName(site_), txn, {},
+                                     record->active_members);
+    }
     txns_.Erase(txn);
     stats().Add("txn.committed_trivial");
     return Err::kOk;
@@ -193,9 +197,24 @@ Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
     return Err::kAborted;
   }
 
-  // Step 3: the commit point — the status marker flips to committed.
+  // Step 3: the commit point — the status marker flips to committed. An
+  // abort cascade landing during this disk write must not discard the
+  // prepared intentions: the mark may still reach disk, and phase two would
+  // then install shadow pages that were already freed and reused. The
+  // commit_marking flag makes AbortTransactionLocal defer; once the mark is
+  // durable the commit simply wins.
+  record->commit_marking = true;
   coord.status = TxnStatus::kCommitted;
   root->UpdateLog(log_id, coord, "commit_mark");
+  record->commit_marking = false;
+  if (system_->audit().enabled()) {
+    std::vector<std::string> participant_names;
+    for (SiteId s : participants) {
+      participant_names.push_back(net().SiteName(s));
+    }
+    system_->audit().OnCommitPoint(net().SiteName(site_), txn, participant_names,
+                                   record->active_members);
+  }
   stats().Add("txn.committed");
   Trace("%s committed (%zu participants)", ToString(txn).c_str(), participants.size());
 
@@ -212,6 +231,12 @@ void Kernel::SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants,
                            uint64_t log_id) {
   if (!phase2_active_.insert(txn).second) {
     return;  // A driver for this transaction is already running here.
+  }
+  if (system_->audit().enabled()) {
+    // Recovery and topology-change re-drives reach here without passing the
+    // commit-mark hook (the mark is already durable); re-declare the
+    // decision. Idempotent for the normal path.
+    system_->audit().OnCommitPoint(net().SiteName(site_), txn, {}, 1);
   }
   SpawnKernelProcess("phase2", [this, txn, participants, log_id] {
     std::vector<SiteId> remaining = participants;
@@ -249,6 +274,9 @@ void Kernel::SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants,
 void Kernel::AbortDuringCommit(TxnRecord* record, uint64_t coord_log_id,
                                const std::vector<SiteId>& participants) {
   const TxnId txn = record->id;
+  if (system_->audit().enabled()) {
+    system_->audit().OnAbortDecision(net().SiteName(site_), txn);
+  }
   Volume* root = volumes_[0].get();
   CoordinatorLogRecord coord{txn, TxnStatus::kAborted, record->files};
   root->UpdateLog(coord_log_id, coord, "abort_mark");
@@ -278,6 +306,21 @@ void Kernel::AbortTransactionLocal(const TxnId& txn, const std::string& reason) 
   record->abort_reason = reason;
   stats().Add("txn.aborted");
   Trace("%s abort requested: %s", ToString(txn).c_str(), reason.c_str());
+
+  if (record->commit_marking) {
+    // The coordinator is blocked on the commit-mark log write. Tearing state
+    // down from here would discard prepared intentions whose shadow pages the
+    // still-landing commit mark legitimately installs in phase two — after
+    // the pages were freed and reused. The transaction is past its last
+    // abort_requested check, so the commit wins; leave all teardown to the
+    // coordinator. (Members have already exited — the coordinator passed
+    // WaitMembersDone before preparing.)
+    txns_.WakeBarrier(txn);
+    return;
+  }
+  if (system_->audit().enabled()) {
+    system_->audit().OnAbortDecision(net().SiteName(site_), txn);
+  }
 
   std::vector<UsedFile> files = record->files;
   OsProcess* top = procs_.Find(record->top_pid);
@@ -379,7 +422,7 @@ MemberJoinReply Kernel::DoMemberJoin(const MemberJoinRequest& req) {
   if (top != nullptr && top->in_transit) {
     return MemberJoinReply{Err::kBusy, kNoSite};
   }
-  record->active_members++;
+  txns_.MemberJoined(req.txn);
   record->members.push_back({req.member, req.member_site});
   return MemberJoinReply{Err::kOk, kNoSite};
 }
@@ -615,6 +658,13 @@ void Kernel::OnCrash() {
     }
   }
   kernel_procs_.clear();
+  if (system_->audit().enabled()) {
+    std::vector<int32_t> volume_ids;
+    for (const auto& v : volumes_) {
+      volume_ids.push_back(v->id());
+    }
+    system_->audit().OnSiteCrash(net().SiteName(site_), volume_ids);
+  }
   locks_.Clear();
   txns_.Clear();
   pool_.Clear();
@@ -704,6 +754,9 @@ void Kernel::OnReboot() {
         SpawnPhaseTwo(coord.txn, participants, log_id);
       } else {
         Trace("recovery: aborting %s", ToString(coord.txn).c_str());
+        if (system_->audit().enabled()) {
+          system_->audit().OnAbortDecision(net().SiteName(site_), coord.txn);
+        }
         for (SiteId s : participants) {
           if (IsLocal(s)) {
             ServeAbortTxnAtSite(coord.txn);

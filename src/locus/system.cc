@@ -15,10 +15,22 @@ Message MakeMsg(MsgType type, T payload, int32_t size_bytes = 96) {
   m.payload = std::move(payload);
   return m;
 }
+
+bool AuditEnabled(const SystemOptions& options) {
+#ifdef LOCUS_AUDIT_FORCE
+  (void)options;
+  return true;
+#else
+  return options.audit;
+#endif
+}
 }  // namespace
 
 System::System(int num_sites, SystemOptions options)
-    : options_(options), sim_(options.seed), net_(&sim_, &trace_) {
+    : options_(options),
+      sim_(options.seed),
+      net_(&sim_, &trace_),
+      audit_(&sim_, &stats_, &trace_, AuditEnabled(options)) {
   trace_.set_enabled(true);
   for (int i = 0; i < num_sites; ++i) {
     SiteId site = net_.AddSite("site" + std::to_string(i));

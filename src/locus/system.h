@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/fs/catalog.h"
 #include "src/locus/kernel.h"
 #include "src/net/network.h"
@@ -38,6 +39,10 @@ struct SystemOptions {
   // (every access then re-validates at the storage site).
   bool disable_lock_cache = false;
   SimTime disk_latency = Disk::kDefaultAccessLatency;
+  // Runtime protocol auditor (src/audit): machine-checks 2PL coverage,
+  // shadow-page isolation, and 2PC message order while the cluster runs.
+  // Forced on when the build defines LOCUS_AUDIT_FORCE (cmake -DLOCUS_AUDIT=ON).
+  bool audit = false;
 };
 
 class System {
@@ -50,6 +55,7 @@ class System {
   Catalog& catalog() { return catalog_; }
   StatRegistry& stats() { return stats_; }
   TraceLog& trace() { return trace_; }
+  ProtocolAuditor& audit() { return audit_; }
   Kernel& kernel(SiteId site) { return *kernels_[site]; }
   int site_count() const { return static_cast<int>(kernels_.size()); }
   const SystemOptions& options() const { return options_; }
@@ -91,6 +97,7 @@ class System {
   TraceLog trace_;
   StatRegistry stats_;
   Network net_;
+  ProtocolAuditor audit_;
   Catalog catalog_;
   std::vector<std::unique_ptr<Kernel>> kernels_;
   VolumeId next_volume_id_ = 0;

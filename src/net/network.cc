@@ -199,7 +199,7 @@ void Network::NotifyTopologyChanged() {
 
 void Network::FailUnreachableCalls() {
   std::vector<uint64_t> failed;
-  for (const auto& [id, call] : pending_calls_) {
+  for (const auto& [id, call] : pending_calls_) {  // order-insensitive: sorted below
     if (!call.done && !Reachable(call.from, call.to)) {
       failed.push_back(id);
     }

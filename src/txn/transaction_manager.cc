@@ -11,6 +11,9 @@ TxnRecord* TransactionManager::Begin(Pid top_pid, uint32_t boot_epoch) {
   record->top_pid = top_pid;
   TxnRecord* raw = record.get();
   records_[record->id] = std::move(record);
+  if (Audited()) {
+    audit_->OnTxnBegin(raw->id);
+  }
   return raw;
 }
 
@@ -53,6 +56,9 @@ void TransactionManager::MemberJoined(const TxnId& txn) {
   TxnRecord* record = Find(txn);
   if (record != nullptr) {
     record->active_members++;
+    if (Audited()) {
+      audit_->OnMemberJoined(txn);
+    }
   }
 }
 
@@ -74,6 +80,9 @@ void TransactionManager::MemberExited(const TxnId& txn, const std::vector<UsedFi
     }
   }
   record->active_members--;
+  if (Audited()) {
+    audit_->OnMemberExited(txn);
+  }
   auto it = member_barriers_.find(txn);
   if (it != member_barriers_.end()) {
     it->second->NotifyAll();

@@ -45,6 +45,11 @@ struct TxnRecord {
   Pid top_pid = kNoPid;
   enum class Phase { kActive, kPreparing, kResolved } phase = Phase::kActive;
   bool abort_requested = false;
+  // True while the coordinator's commit-mark log write is in flight — the
+  // window between the final abort_requested check and the mark becoming
+  // durable. An abort cascade must not tear down prepared intentions inside
+  // this window (see Kernel::AbortTransactionLocal).
+  bool commit_marking = false;
   std::string abort_reason;
   // Live member processes, including the top-level one. EndTrans blocks
   // until this drops to 1 (section 4.2: commit begins when all subprocesses

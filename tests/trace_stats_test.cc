@@ -61,6 +61,31 @@ TEST(StatRegistry, SurfacesReconciliationCounters) {
   }
 }
 
+// The protocol auditor interns its counters at System construction even when
+// disabled, so audit.checks / audit.violations are always present in the
+// export — a run with the auditor off reads as zero, not as a missing key.
+TEST(StatRegistry, SurfacesAuditCounters) {
+  System system(1);
+  auto counters = system.stats().counters();
+  for (const char* key : {"audit.checks", "audit.violations"}) {
+    ASSERT_TRUE(counters.count(key)) << key;
+    EXPECT_EQ(counters.at(key), 0) << key;
+  }
+  SystemOptions options;
+  options.audit = true;
+  System audited(1, options);
+  audited.Spawn(0, "w", [](Syscalls& sys) {
+    ASSERT_EQ(sys.Creat("/f"), Err::kOk);
+    auto fd = sys.Open("/f", {.read = true, .write = true});
+    ASSERT_TRUE(fd.ok());
+    ASSERT_EQ(sys.WriteString(fd.value, "audited"), Err::kOk);
+    ASSERT_EQ(sys.Close(fd.value), Err::kOk);
+  });
+  audited.Run();
+  EXPECT_GT(audited.stats().Get("audit.checks"), 0);
+  EXPECT_EQ(audited.stats().Get("audit.violations"), 0);
+}
+
 TEST(LatencyStat, TracksMinMaxMean) {
   LatencyStat stat;
   EXPECT_EQ(stat.count(), 0);
