@@ -3,11 +3,14 @@
 #   1. determinism lint (scripts/lint_locus.py) — and a self-test that the
 #      linter still detects every violation class seeded in scripts/lint_fixture
 #   2. RelWithDebInfo build + full test suite
-#   3. benchmark regression snapshot (scale table)
-#   4. chaos reliability scenarios with the runtime protocol auditor observing
+#   3. model-checker smoke: exhaustive 2-site DFS, fixed-seed PCT batch, and
+#      full crash-point enumeration of a 3-site commit (src/mc), plus a
+#      negative control that rediscovers + replays the seeded PR 3 race
+#   4. benchmark regression snapshot (scale table)
+#   5. chaos reliability scenarios with the runtime protocol auditor observing
 #      (--audit: any 2PL / 2PC / shadow-page violation fails the run)
-#   5. UndefinedBehaviorSanitizer build + full test suite
-#   6. AddressSanitizer build + full test suite
+#   6. UndefinedBehaviorSanitizer build + full test suite
+#   7. AddressSanitizer build + full test suite
 #
 # Build trees (build/, build-ubsan/, build-asan/) are reused incrementally:
 # the first cold run compiles three trees (~20 min at -j1); warm runs finish
@@ -22,11 +25,15 @@ JOBS="${1:-$(nproc)}"
 
 echo "=== determinism lint ==="
 python3 scripts/lint_locus.py
-if python3 scripts/lint_locus.py scripts/lint_fixture >/dev/null 2>&1; then
-  echo "lint_locus.py failed to flag the seeded fixture violations" >&2
-  exit 1
-fi
-echo "lint fixture self-test: seeded violations detected"
+FIXTURE_OUT="$(python3 scripts/lint_locus.py scripts/lint_fixture 2>/dev/null)" \
+  && { echo "lint_locus.py failed to flag the seeded fixture violations" >&2; exit 1; }
+for rule in nondeterminism "hash-order iteration" "stat counter" "decision point"; do
+  if ! grep -q "$rule" <<<"$FIXTURE_OUT"; then
+    echo "lint_locus.py no longer detects the seeded '$rule' violation" >&2
+    exit 1
+  fi
+done
+echo "lint fixture self-test: all seeded violation classes detected"
 
 echo "=== build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
@@ -34,6 +41,31 @@ cmake --build build -j "$JOBS"
 
 echo "=== ctest ==="
 (cd build && ctest --output-on-failure)
+
+echo "=== model-checker smoke (schedule + crash-point exploration) ==="
+# Exhaustive DFS over the 2-site scenario with a 2 ms tie-widening window:
+# must visit the whole reduced schedule tree without a violation.
+./build/src/mc/locus_mc --mode=dfs --sites=2 --tellers=2 --transfers=1 \
+    --accounts=1 --window-us=2000
+# Fixed-seed PCT batch on a 3-site scenario: deterministic sampling, clean.
+./build/src/mc/locus_mc --mode=pct --sites=3 --tellers=3 --transfers=1 \
+    --window-us=2000 --batch=15 --pct-seed=7
+# Full crash-point enumeration of a 3-site commit (every 2PC protocol step
+# of every site): recovery must restore a consistent state at each point.
+./build/src/mc/locus_mc --mode=crash --sites=3 --tellers=2 --transfers=1 \
+    --disk-us=60000 --seed=5
+# Negative control: with the PR 3 commit-marking guard seam toggled off the
+# sweep must rediscover the race and its shrunk trace must replay exactly.
+MC_NEG_DIR="$(mktemp -d)"
+if ./build/src/mc/locus_mc --mode=crash --sites=3 --tellers=2 --transfers=1 \
+    --disk-us=60000 --seed=5 --guard-off \
+    --trace-out="$MC_NEG_DIR/cex.json" >/dev/null 2>&1; then
+  echo "locus_mc failed to rediscover the seeded commit-marking race" >&2
+  exit 1
+fi
+./build/src/mc/locus_mc --replay="$MC_NEG_DIR/cex.json"
+rm -rf "$MC_NEG_DIR"
+echo "mc smoke: exploration clean, seeded race rediscovered and replayed"
 
 echo "=== benchmark regression snapshot ==="
 ./build/bench/scale_throughput --json=build/BENCH_scale.json \
@@ -56,8 +88,9 @@ cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure)
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "=== clang-tidy (src/lock, src/txn) ==="
-  clang-tidy -p build src/lock/*.cc src/txn/*.cc -- -std=c++20 -I.
+  echo "=== clang-tidy (src/lock, src/txn, src/sim, src/net) ==="
+  clang-tidy -p build src/lock/*.cc src/txn/*.cc src/sim/*.cc src/net/*.cc \
+      -- -std=c++20 -I.
 fi
 
 echo "=== ci.sh: all green ==="

@@ -1,0 +1,37 @@
+// Seeded decision-point violations (rule 4): this fake engine file resolves
+// scheduling nondeterminism without consulting a SchedulePolicy. NOT
+// compiled — CI asserts lint_locus.py flags every block below.
+
+#include <cstdint>
+
+namespace lint_fixture {
+
+struct FakeEvent {
+  long long time = 0;
+  uint64_t seq = 0;
+};
+
+struct FakeRng {
+  uint64_t Next() { return 4; }
+  uint64_t Below(uint64_t n) { return n - 1; }
+};
+
+class FakeScheduler {
+ public:
+  // Violation: seq id minted outside the sanctioned ScheduleAt path.
+  uint64_t Mint() { return next_seq_++; }
+
+  // Violation: seq-order comparison used as a schedule tie-break.
+  static bool Earlier(const FakeEvent& a, const FakeEvent& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  // Violation: scheduler-layer randomness bypassing SchedulePolicy.
+  uint64_t PickVictim(uint64_t count) { return rng_.Below(count); }
+
+ private:
+  uint64_t next_seq_ = 0;
+  FakeRng rng_;
+};
+
+}  // namespace lint_fixture

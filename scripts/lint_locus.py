@@ -20,6 +20,14 @@ defect are machine-checked here rather than left to review:
    Intern must be lowercase dotted identifiers ("lock.read_denied") so the
    bench JSON and dashboards can rely on a uniform namespace.
 
+4. Decision points. Scheduling nondeterminism in the engine layers (src/sim,
+   src/net) must flow through the SchedulePolicy consultation in
+   Simulation::PopNext so the model checker (src/mc) can explore and replay
+   it. Minting event seq ids, comparing events by seq (a tie-break), or
+   drawing scheduler-layer randomness anywhere else is flagged; the sanctioned
+   sites carry a `// policy-ok` comment on the line or within the two lines
+   above.
+
 Usage: scripts/lint_locus.py [path ...]     (default: src/)
 Exits nonzero if any finding is reported.
 """
@@ -57,6 +65,21 @@ RANGE_FOR = re.compile(r"for\s*\(.*?:\s*\*?(?P<expr>[A-Za-z_][A-Za-z0-9_]*)\s*\)
 
 STAT_CALL = re.compile(r"\b(?:Add|Intern)\(\s*\"(?P<name>[^\"]+)\"\s*[,)]")
 STAT_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+# Rule 4 applies to the engine layers (matched as path components so the
+# seeded fixture under scripts/lint_fixture/src/sim participates too).
+DECISION_DIRS = (os.path.join("src", "sim") + os.sep,
+                 os.path.join("src", "net") + os.sep)
+DECISION_SUPPRESS = "policy-ok"
+DECISION_PATTERNS = [
+    (re.compile(r"next_seq_\s*\+\+|\+\+\s*next_seq_"),
+     "event seq id minted outside the sanctioned ScheduleAt path"),
+    (re.compile(r"\.seq\b\s*[<>]|\bseq\s*[<>]"),
+     "seq-order comparison is a schedule tie-break; route it through "
+     "SchedulePolicy (PopNext)"),
+    (re.compile(r"\brng(?:\(\)|_)\.(?:Next|Below|Range|Chance)\("),
+     "scheduler-layer randomness; decisions must come from SchedulePolicy"),
+]
 
 LINE_COMMENT = re.compile(r"//.*$")
 
@@ -120,6 +143,19 @@ def lint_file(path, rel, root, findings):
                 f"{rel}:{i}: hash-order iteration over unordered container "
                 f"'{m.group('expr')}' without a '// sorted' / "
                 f"'// order-insensitive' justification")
+
+    # --- 4. decision points outside SchedulePolicy ---
+    rel_slashed = rel if rel.endswith(os.sep) else rel + os.sep
+    if any(d in rel_slashed for d in DECISION_DIRS):
+        for i, line in enumerate(lines, 1):
+            code = strip_comment(line)
+            for pattern, reason in DECISION_PATTERNS:
+                if not pattern.search(code):
+                    continue
+                window = " ".join(lines[max(0, i - 3):i])
+                if DECISION_SUPPRESS in window:
+                    continue
+                findings.append(f"{rel}:{i}: decision point: {reason}")
 
     # --- 3. stat-counter naming ---
     for i, line in enumerate(lines, 1):

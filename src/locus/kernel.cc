@@ -107,6 +107,17 @@ SimProcess* Kernel::SpawnKernelProcess(const std::string& name, std::function<vo
   return p;
 }
 
+void Kernel::MaybeCrashAt(ProtocolStep step) {
+  if (!alive_ || !sim().AtCrashPoint(step, site_)) {
+    return;
+  }
+  Trace("crash injected at %s", ProtocolStepName(step));
+  system_->CrashSite(site_);
+  // CrashSite self-kills the calling process (cancelled_ set, no unwinding);
+  // throw so the protocol stops here rather than at the next blocking point.
+  throw SimCancelled{};
+}
+
 int64_t Kernel::live_kernel_processes() const {
   int64_t n = 0;
   for (SimProcess* kp : kernel_procs_) {
@@ -178,6 +189,7 @@ void Kernel::Start() {
   });
   RegisterBlockingHandler(kPrepareReq, [this](SiteId, const Message& m, Responder r) {
     r(MakeMsg(kPrepareReq, PrepareReply{ServePrepare(m.As<PrepareRequest>())}));
+    MaybeCrashAt(ProtocolStep::kPrepareReplySent);
   });
   RegisterBlockingHandler(kCommitTxnReq, [this](SiteId, const Message& m, Responder r) {
     ServeCommitTxn(m.As<CommitTxnRequest>().txn);
@@ -449,6 +461,7 @@ Err Kernel::ServePrepare(const PrepareRequest& req) {
     locks_.ReleaseTransaction(req.txn);
     return Err::kAborted;
   }
+  MaybeCrashAt(ProtocolStep::kBeforePrepareLog);
   for (auto& [vol_id, intentions] : by_volume) {
     Volume* volume = FindVolume(vol_id);
     if (system_->options().prepare_log_per_file) {
@@ -465,6 +478,7 @@ Err Kernel::ServePrepare(const PrepareRequest& req) {
       prepare_log_index_[req.txn].push_back({vol_id, id});
     }
   }
+  MaybeCrashAt(ProtocolStep::kAfterPrepareLog);
   Trace("prepared %s (%zu files)", ToString(req.txn).c_str(), req.files.size());
   if (system_->audit().enabled()) {
     system_->audit().OnPrepared(net().SiteName(site_), req.txn);
@@ -479,6 +493,7 @@ void Kernel::ServeCommitTxn(const TxnId& txn) {
   if (!txn_resolution_in_progress_.insert(txn).second) {
     return;  // A duplicate message raced an in-flight resolution.
   }
+  MaybeCrashAt(ProtocolStep::kBeforeCommitInstall);
   LockOwner owner{kNoPid, txn};
   std::vector<FileId> committed_files;
   auto it = prepare_log_index_.find(txn);
@@ -504,6 +519,7 @@ void Kernel::ServeCommitTxn(const TxnId& txn) {
     }
     prepare_log_index_.erase(txn);
   }
+  MaybeCrashAt(ProtocolStep::kAfterCommitInstall);
   // Phase two releases the retained locks (section 4.2).
   locks_.ReleaseTransaction(txn);
   for (const FileId& file : committed_files) {

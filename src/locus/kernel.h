@@ -164,6 +164,10 @@ class Kernel {
   void Trace(const char* format, ...) __attribute__((format(printf, 2, 3)));
   // Spawns a tracked kernel process (killed on crash).
   SimProcess* SpawnKernelProcess(const std::string& name, std::function<void()> body);
+  // Crash-injection hook (src/mc): consults the installed SchedulePolicy at a
+  // two-phase-commit protocol step; if it elects a crash, the site goes down
+  // and the calling process unwinds via SimCancelled. No-op with no policy.
+  void MaybeCrashAt(ProtocolStep step);
   // Registers a handler that runs `fn` in a fresh kernel process.
   void RegisterBlockingHandler(int32_t type,
                                std::function<void(SiteId, const Message&, Responder)> fn);

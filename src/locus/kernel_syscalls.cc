@@ -424,6 +424,15 @@ Result<ByteRange> Kernel::RequestLock(OsProcess* p, Channel& ch, LockRequest req
     RpcResult res = net().Call(site_, ch.storage_site, MakeMsg(kLockReq, req),
                                /*timeout=*/Seconds(600));
     if (!res.ok) {
+      // Withdraw the queued request. After a timeout nobody is listening for
+      // the grant, and a still-queued entry would later be granted to this
+      // (about-to-abort) transaction and wedge the lock at the storage site
+      // forever — the reply-side stale-grant undo below never runs because
+      // the reply is dropped.
+      if (req.owner.txn.valid() && net().Reachable(site_, ch.storage_site)) {
+        net().Send(site_, ch.storage_site,
+                   MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{req.owner.txn}));
+      }
       return {p->txn_aborted ? Err::kAborted : Err::kUnreachable, {}};
     }
     reply = res.reply.As<LockReply>();

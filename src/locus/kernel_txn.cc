@@ -162,6 +162,7 @@ Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
   CoordinatorLogRecord coord{txn, TxnStatus::kUnknown, record->files};
   uint64_t log_id = root->AppendLog(coord, "coordinator_log");
   coordinator_log_index_[txn] = log_id;
+  MaybeCrashAt(ProtocolStep::kCoordLogWritten);
 
   // Step 2: prepare messages to every participant site.
   std::vector<SiteId> prepared;
@@ -203,10 +204,12 @@ Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
   // then install shadow pages that were already freed and reused. The
   // commit_marking flag makes AbortTransactionLocal defer; once the mark is
   // durable the commit simply wins.
+  MaybeCrashAt(ProtocolStep::kBeforeCommitMark);
   record->commit_marking = true;
   coord.status = TxnStatus::kCommitted;
   root->UpdateLog(log_id, coord, "commit_mark");
   record->commit_marking = false;
+  MaybeCrashAt(ProtocolStep::kAfterCommitMark);
   if (system_->audit().enabled()) {
     std::vector<std::string> participant_names;
     for (SiteId s : participants) {
@@ -244,6 +247,7 @@ void Kernel::SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants,
     while (!remaining.empty() && idle_rounds < 200) {
       std::vector<SiteId> still;
       for (SiteId s : remaining) {
+        MaybeCrashAt(ProtocolStep::kBeforeCommitSend);
         if (IsLocal(s)) {
           ServeCommitTxn(txn);
           continue;
@@ -307,7 +311,7 @@ void Kernel::AbortTransactionLocal(const TxnId& txn, const std::string& reason) 
   stats().Add("txn.aborted");
   Trace("%s abort requested: %s", ToString(txn).c_str(), reason.c_str());
 
-  if (record->commit_marking) {
+  if (record->commit_marking && !system_->options().test_disable_commit_marking_guard) {
     // The coordinator is blocked on the commit-mark log write. Tearing state
     // down from here would discard prepared intentions whose shadow pages the
     // still-landing commit mark legitimately installs in phase two — after

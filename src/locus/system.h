@@ -43,6 +43,10 @@ struct SystemOptions {
   // shadow-page isolation, and 2PC message order while the cluster runs.
   // Forced on when the build defines LOCUS_AUDIT_FORCE (cmake -DLOCUS_AUDIT=ON).
   bool audit = false;
+  // Test seam: disables the commit_marking guard in AbortTransactionLocal,
+  // reintroducing the PR 3 abort-during-commit-mark race so the model checker
+  // (src/mc) can prove it rediscovers the bug. Never set outside tests.
+  bool test_disable_commit_marking_guard = false;
 };
 
 class System {

@@ -1,0 +1,285 @@
+#include "src/mc/counterexample.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace locus {
+namespace mc {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+// Minimal JSON reader for the subset ToJson emits: objects, arrays, strings
+// (with \" and \\ escapes), and integer numbers.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string ReadString() {
+    SkipWs();
+    std::string out;
+    if (!Consume('"')) {
+      return out;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        out += text_[pos_++];
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+    } else {
+      ++pos_;
+    }
+    return out;
+  }
+
+  int64_t ReadInt() {
+    SkipWs();
+    bool neg = pos_ < text_.size() && text_[pos_] == '-';
+    if (neg) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Fail("expected integer");
+      return 0;
+    }
+    int64_t v = 0;
+    while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_++] - '0');
+    }
+    return neg ? -v : v;
+  }
+
+  bool ReadBool() {
+    SkipWs();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    Fail("expected boolean");
+    return false;
+  }
+
+  void Fail(std::string why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string CounterexampleTrace::ToJson() const {
+  std::string out = "{\n  \"config\": {";
+  out += "\"sites\": " + std::to_string(config.sites);
+  out += ", \"tellers\": " + std::to_string(config.tellers);
+  out += ", \"transfers_per_teller\": " + std::to_string(config.transfers_per_teller);
+  out += ", \"accounts_per_branch\": " + std::to_string(config.accounts_per_branch);
+  out += ", \"initial_balance\": " + std::to_string(config.initial_balance);
+  out += ", \"seed\": " + std::to_string(config.seed);
+  out += ", \"disk_latency_us\": " + std::to_string(config.disk_latency_us);
+  out += ", \"tie_window_us\": " + std::to_string(config.tie_window_us);
+  out += std::string(", \"disable_commit_guard\": ") +
+         (config.disable_commit_guard ? "true" : "false");
+  out += "},\n  \"choices\": [";
+  bool first = true;
+  for (const auto& [index, choice] : choices) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "{\"i\": " + std::to_string(index) + ", \"c\": " + std::to_string(choice);
+    auto label = labels.find(index);
+    if (label != labels.end()) {
+      out += ", \"label\": ";
+      AppendEscaped(out, label->second);
+    }
+    out += "}";
+  }
+  out += "]";
+  if (crash.has_value()) {
+    out += ",\n  \"crash\": {\"ordinal\": " + std::to_string(crash->ordinal);
+    out += ", \"step\": ";
+    AppendEscaped(out, crash->step);
+    out += ", \"site\": " + std::to_string(crash->site) + "}";
+  }
+  out += ",\n  \"expect_digest\": ";
+  AppendEscaped(out, expect_digest);
+  out += ",\n  \"expect_violation\": ";
+  AppendEscaped(out, expect_violation);
+  out += "\n}\n";
+  return out;
+}
+
+std::optional<CounterexampleTrace> CounterexampleTrace::FromJson(const std::string& text,
+                                                                 std::string* error) {
+  CounterexampleTrace trace;
+  Reader r(text);
+  auto fail = [&](const std::string& why) -> std::optional<CounterexampleTrace> {
+    if (error != nullptr) {
+      *error = why.empty() ? r.error() : why;
+    }
+    return std::nullopt;
+  };
+  if (!r.Consume('{')) {
+    return fail("");
+  }
+  bool done = r.Peek('}');
+  while (!done && !r.failed()) {
+    std::string key = r.ReadString();
+    r.Consume(':');
+    if (key == "config") {
+      r.Consume('{');
+      bool obj_done = r.Peek('}');
+      while (!obj_done && !r.failed()) {
+        std::string field = r.ReadString();
+        r.Consume(':');
+        if (field == "sites") {
+          trace.config.sites = static_cast<int>(r.ReadInt());
+        } else if (field == "tellers") {
+          trace.config.tellers = static_cast<int>(r.ReadInt());
+        } else if (field == "transfers_per_teller") {
+          trace.config.transfers_per_teller = static_cast<int>(r.ReadInt());
+        } else if (field == "accounts_per_branch") {
+          trace.config.accounts_per_branch = static_cast<int>(r.ReadInt());
+        } else if (field == "initial_balance") {
+          trace.config.initial_balance = r.ReadInt();
+        } else if (field == "seed") {
+          trace.config.seed = static_cast<uint64_t>(r.ReadInt());
+        } else if (field == "disk_latency_us") {
+          trace.config.disk_latency_us = r.ReadInt();
+        } else if (field == "tie_window_us") {
+          trace.config.tie_window_us = r.ReadInt();
+        } else if (field == "disable_commit_guard") {
+          trace.config.disable_commit_guard = r.ReadBool();
+        } else {
+          r.Fail("unknown config field " + field);
+        }
+        obj_done = !r.Peek(',') || !r.Consume(',');
+      }
+      r.Consume('}');
+    } else if (key == "choices") {
+      r.Consume('[');
+      bool arr_done = r.Peek(']');
+      while (!arr_done && !r.failed()) {
+        r.Consume('{');
+        uint64_t index = 0;
+        uint32_t choice = 0;
+        std::string label;
+        bool obj_done = r.Peek('}');
+        while (!obj_done && !r.failed()) {
+          std::string field = r.ReadString();
+          r.Consume(':');
+          if (field == "i") {
+            index = static_cast<uint64_t>(r.ReadInt());
+          } else if (field == "c") {
+            choice = static_cast<uint32_t>(r.ReadInt());
+          } else if (field == "label") {
+            label = r.ReadString();
+          } else {
+            r.Fail("unknown choice field " + field);
+          }
+          obj_done = !r.Peek(',') || !r.Consume(',');
+        }
+        r.Consume('}');
+        trace.choices[index] = choice;
+        if (!label.empty()) {
+          trace.labels[index] = label;
+        }
+        arr_done = !r.Peek(',') || !r.Consume(',');
+      }
+      r.Consume(']');
+    } else if (key == "crash") {
+      r.Consume('{');
+      CrashSpec spec;
+      bool obj_done = r.Peek('}');
+      while (!obj_done && !r.failed()) {
+        std::string field = r.ReadString();
+        r.Consume(':');
+        if (field == "ordinal") {
+          spec.ordinal = r.ReadInt();
+        } else if (field == "step") {
+          spec.step = r.ReadString();
+        } else if (field == "site") {
+          spec.site = static_cast<int32_t>(r.ReadInt());
+        } else {
+          r.Fail("unknown crash field " + field);
+        }
+        obj_done = !r.Peek(',') || !r.Consume(',');
+      }
+      r.Consume('}');
+      trace.crash = spec;
+    } else if (key == "expect_digest") {
+      trace.expect_digest = r.ReadString();
+    } else if (key == "expect_violation") {
+      trace.expect_violation = r.ReadString();
+    } else {
+      r.Fail("unknown field " + key);
+    }
+    done = !r.Peek(',') || !r.Consume(',');
+  }
+  r.Consume('}');
+  if (r.failed()) {
+    return fail("");
+  }
+  return trace;
+}
+
+}  // namespace mc
+}  // namespace locus

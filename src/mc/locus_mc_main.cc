@@ -1,0 +1,257 @@
+// locus_mc: schedule-space model checker for the simulated Locus cluster.
+//
+//   locus_mc --mode=dfs   [scenario flags] [--budget=N] [--no-por]
+//   locus_mc --mode=pct   [scenario flags] [--batch=N] [--depth=D] [--pct-seed=S]
+//   locus_mc --mode=crash [scenario flags]
+//   locus_mc --replay=trace.json
+//   locus_mc --shrink=trace.json [--out=min.json]
+//
+// Scenario flags: --sites --tellers --transfers --accounts --seed --disk-us
+// --window-us (tie-widening window: network events this close together count
+// as concurrent) --guard-off (re-enables the PR 3 commit-marking race;
+// testing only).
+// Violations write a counterexample trace (--trace-out=PATH, default
+// counterexample.json) and exit 1. Replay exits 0 only when the stored
+// violation AND run digest reproduce bit-identically.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/mc/counterexample.h"
+#include "src/mc/explorer.h"
+#include "src/mc/shrink.h"
+
+namespace {
+
+using locus::mc::CounterexampleTrace;
+using locus::mc::CrashSweep;
+using locus::mc::ExhaustiveDfs;
+using locus::mc::GuidedPolicy;
+using locus::mc::PctSampler;
+using locus::mc::RunScenario;
+using locus::mc::ScenarioConfig;
+using locus::mc::ShrinkTrace;
+
+struct Args {
+  std::string mode;
+  std::string replay_path;
+  std::string shrink_path;
+  std::string trace_out = "counterexample.json";
+  std::string out_path;
+  ScenarioConfig config;
+  uint64_t budget = 20000;
+  bool por = true;
+  int batch = 50;
+  int depth = 3;
+  uint64_t pct_seed = 1;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = strlen(name);
+  if (strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--mode", &v)) {
+      args->mode = v;
+    } else if (ParseFlag(argv[i], "--replay", &v)) {
+      args->replay_path = v;
+    } else if (ParseFlag(argv[i], "--shrink", &v)) {
+      args->shrink_path = v;
+    } else if (ParseFlag(argv[i], "--trace-out", &v)) {
+      args->trace_out = v;
+    } else if (ParseFlag(argv[i], "--out", &v)) {
+      args->out_path = v;
+    } else if (ParseFlag(argv[i], "--sites", &v)) {
+      args->config.sites = atoi(v);
+    } else if (ParseFlag(argv[i], "--tellers", &v)) {
+      args->config.tellers = atoi(v);
+    } else if (ParseFlag(argv[i], "--transfers", &v)) {
+      args->config.transfers_per_teller = atoi(v);
+    } else if (ParseFlag(argv[i], "--accounts", &v)) {
+      args->config.accounts_per_branch = atoi(v);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      args->config.seed = strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--disk-us", &v)) {
+      args->config.disk_latency_us = atoll(v);
+    } else if (ParseFlag(argv[i], "--window-us", &v)) {
+      args->config.tie_window_us = atoll(v);
+    } else if (strcmp(argv[i], "--guard-off") == 0) {
+      args->config.disable_commit_guard = true;
+    } else if (ParseFlag(argv[i], "--budget", &v)) {
+      args->budget = strtoull(v, nullptr, 10);
+    } else if (strcmp(argv[i], "--no-por") == 0) {
+      args->por = false;
+    } else if (ParseFlag(argv[i], "--batch", &v)) {
+      args->batch = atoi(v);
+    } else if (ParseFlag(argv[i], "--depth", &v)) {
+      args->depth = atoi(v);
+    } else if (ParseFlag(argv[i], "--pct-seed", &v)) {
+      args->pct_seed = strtoull(v, nullptr, 10);
+    } else {
+      fprintf(stderr, "locus_mc: unknown argument %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    fprintf(stderr, "locus_mc: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* content) {
+  std::ifstream in(path);
+  if (!in) {
+    fprintf(stderr, "locus_mc: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+int ReportCounterexample(const Args& args, const CounterexampleTrace& trace) {
+  fprintf(stderr, "locus_mc: VIOLATION %s (digest %s, %zu non-default choices%s)\n",
+          trace.expect_violation.c_str(), trace.expect_digest.c_str(),
+          trace.choices.size(), trace.crash.has_value() ? ", crash injected" : "");
+  locus::mc::ShrinkResult shrunk = ShrinkTrace(trace);
+  const CounterexampleTrace& minimal = shrunk.reproduced ? shrunk.trace : trace;
+  if (shrunk.reproduced) {
+    fprintf(stderr, "locus_mc: shrunk to %zu choices in %llu probes\n",
+            minimal.choices.size(), static_cast<unsigned long long>(shrunk.probes));
+  }
+  if (WriteFile(args.trace_out, minimal.ToJson())) {
+    fprintf(stderr, "locus_mc: counterexample written to %s\n", args.trace_out.c_str());
+  }
+  return 1;
+}
+
+int RunReplay(const Args& args) {
+  std::string text, error;
+  if (!ReadFile(args.replay_path, &text)) {
+    return 2;
+  }
+  auto trace = CounterexampleTrace::FromJson(text, &error);
+  if (!trace.has_value()) {
+    fprintf(stderr, "locus_mc: bad trace: %s\n", error.c_str());
+    return 2;
+  }
+  GuidedPolicy policy;
+  policy.prescribed = trace->choices;
+  policy.crash_ordinal = trace->crash.has_value() ? trace->crash->ordinal : -1;
+  locus::mc::RunResult run = RunScenario(trace->config, &policy);
+  printf("replay: violation=%s digest=%s (expected %s / %s)\n",
+         run.violation.empty() ? "(none)" : run.violation.c_str(), run.digest.c_str(),
+         trace->expect_violation.empty() ? "(none)" : trace->expect_violation.c_str(),
+         trace->expect_digest.c_str());
+  if (!run.violation_detail.empty()) {
+    printf("replay: %s\n", run.violation_detail.c_str());
+  }
+  bool match = run.violation == trace->expect_violation && run.digest == trace->expect_digest;
+  if (!match) {
+    fprintf(stderr, "locus_mc: replay DIVERGED from the stored trace\n");
+  }
+  return match ? 0 : 2;
+}
+
+int RunShrink(const Args& args) {
+  std::string text, error;
+  if (!ReadFile(args.shrink_path, &text)) {
+    return 2;
+  }
+  auto trace = CounterexampleTrace::FromJson(text, &error);
+  if (!trace.has_value()) {
+    fprintf(stderr, "locus_mc: bad trace: %s\n", error.c_str());
+    return 2;
+  }
+  locus::mc::ShrinkResult shrunk = ShrinkTrace(*trace);
+  if (!shrunk.reproduced) {
+    fprintf(stderr, "locus_mc: trace did not reproduce its violation; not shrinking\n");
+    return 2;
+  }
+  printf("shrink: %zu -> %zu non-default choices (%llu probes)\n", trace->choices.size(),
+         shrunk.trace.choices.size(), static_cast<unsigned long long>(shrunk.probes));
+  std::string out = args.out_path.empty() ? args.shrink_path + ".min" : args.out_path;
+  if (!WriteFile(out, shrunk.trace.ToJson())) {
+    return 2;
+  }
+  printf("shrink: written to %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return 2;
+  }
+  if (!args.replay_path.empty()) {
+    return RunReplay(args);
+  }
+  if (!args.shrink_path.empty()) {
+    return RunShrink(args);
+  }
+  if (args.mode == "dfs") {
+    locus::mc::DfsOptions options;
+    options.max_runs = args.budget;
+    options.partial_order_reduction = args.por;
+    locus::mc::ExploreResult result = ExhaustiveDfs(args.config, options);
+    printf("dfs: %llu runs, %llu branch points, max %llu decisions, %s\n",
+           static_cast<unsigned long long>(result.stats.runs),
+           static_cast<unsigned long long>(result.stats.branch_points),
+           static_cast<unsigned long long>(result.stats.max_decisions),
+           result.exhausted ? "exhausted" : "budget hit");
+    if (result.counterexample.has_value()) {
+      return ReportCounterexample(args, *result.counterexample);
+    }
+    return 0;
+  }
+  if (args.mode == "pct") {
+    locus::mc::PctOptions options;
+    options.seed = args.pct_seed;
+    options.batch = args.batch;
+    options.depth = args.depth;
+    locus::mc::ExploreResult result = PctSampler(args.config, options);
+    printf("pct: %llu runs, max %llu decisions\n",
+           static_cast<unsigned long long>(result.stats.runs),
+           static_cast<unsigned long long>(result.stats.max_decisions));
+    if (result.counterexample.has_value()) {
+      return ReportCounterexample(args, *result.counterexample);
+    }
+    return 0;
+  }
+  if (args.mode == "crash") {
+    locus::mc::CrashSweepResult result = CrashSweep(args.config);
+    printf("crash: %llu crash points, %llu runs, %zu violations\n",
+           static_cast<unsigned long long>(result.crash_points),
+           static_cast<unsigned long long>(result.stats.runs),
+           result.counterexamples.size());
+    if (!result.counterexamples.empty()) {
+      return ReportCounterexample(args, result.counterexamples.front());
+    }
+    return 0;
+  }
+  fprintf(stderr,
+          "usage: locus_mc --mode=dfs|pct|crash [flags] | --replay=trace.json | "
+          "--shrink=trace.json\n");
+  return 2;
+}

@@ -1,0 +1,104 @@
+// The model checker's workload scenario: a deterministic debit/credit run
+// whose every source of nondeterminism is owned by a SchedulePolicy.
+//
+// One RunScenario call builds a fresh cluster, runs a fixed transfer plan
+// derived from the config seed, drives crash recovery to quiescence, reads
+// back every account, and evaluates the oracle:
+//   - zero ProtocolAuditor violations,
+//   - conservation: the balance total equals the initial total,
+//   - atomicity/durability: per-account deltas are explained by applying all
+//     transfers that reported commit, none that reported abort, and some
+//     all-or-nothing subset of the unknown-outcome transfers (those cut short
+//     by an injected crash),
+//   - liveness: no process is left blocked once the event queue drains.
+// Unlike the bench workload (src/workload), tellers lock accounts in
+// canonical order so the scenario is deadlock-free by construction — the
+// drain watchdog then makes any lost wake-up a reported failure rather than
+// a hang.
+
+#ifndef SRC_MC_SCENARIO_H_
+#define SRC_MC_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mc/policy.h"
+#include "src/sim/time.h"
+
+namespace locus {
+namespace mc {
+
+struct ScenarioConfig {
+  int sites = 2;
+  int tellers = 2;               // Teller t runs at site t % sites.
+  int transfers_per_teller = 1;
+  int accounts_per_branch = 2;   // One branch file per site.
+  int64_t initial_balance = 1000;
+  uint64_t seed = 1;             // Shapes the transfer plan only.
+  // Disk access latency; the PR 3 race needs ~60 ms so the 40 ms failure
+  // detection lands inside the commit-mark write (default 26 ms).
+  SimTime disk_latency_us = 0;   // 0 = engine default, else microseconds.
+  // Re-enables the PR 3 commit-marking race (test seam; see SystemOptions).
+  bool disable_commit_guard = false;
+  // Tie-widening window (SchedulePolicy::TieWindow): network events this
+  // close to the earliest pending event count as concurrent, modelling
+  // delivery delays. 0 keeps exact-time ties only.
+  SimTime tie_window_us = 0;
+};
+
+// What one transfer of the plan did, as reported by its teller.
+enum class TransferOutcome : uint8_t {
+  kNotStarted = 0,  // Teller died before BeginTrans: must have no effect.
+  kUnknown,         // In flight when its site crashed: all-or-nothing, either way.
+  kCommitted,       // EndTrans returned kOk: must be durable.
+  kAborted,         // Aborted/failed: must have no effect.
+};
+
+struct TransferPlan {
+  int teller = 0;
+  int from_branch = 0, from_acct = 0;
+  int to_branch = 0, to_acct = 0;
+  int64_t amount = 0;
+};
+
+struct RunResult {
+  // Oracle verdicts.
+  bool audit_clean = false;
+  bool conserved = false;
+  bool atomic = false;       // Includes durability of reported commits.
+  bool drained_clean = false;  // No blocked processes at final drain.
+  bool read_complete = false;  // Every account was readable at the end.
+  bool ok() const {
+    return audit_clean && conserved && atomic && drained_clean && read_complete;
+  }
+  // First failed invariant as a stable name ("" when ok): an AuditKindName,
+  // or "conservation" / "atomicity" / "blocked" / "unreadable".
+  std::string violation;
+  std::string violation_detail;
+
+  // Run identity: FNV-1a over final balances, outcomes, and audit state.
+  // Equal digests mean the runs were observationally identical.
+  std::string digest;
+
+  // Raw observations.
+  int committed = 0;
+  int aborted = 0;
+  int unknown = 0;
+  std::vector<int64_t> final_balances;   // branch-major, accounts_per_branch each.
+  std::vector<TransferOutcome> outcomes;
+  int64_t audit_violations = 0;
+  std::string audit_summary;
+};
+
+// The deterministic transfer plan for a config (exposed for tests/reporting).
+std::vector<TransferPlan> MakePlan(const ScenarioConfig& config);
+
+// Executes one run under `policy` (may be null for the engine's historical
+// order). The policy's recordings are the caller's to inspect afterwards.
+RunResult RunScenario(const ScenarioConfig& config, GuidedPolicy* policy);
+
+}  // namespace mc
+}  // namespace locus
+
+#endif  // SRC_MC_SCENARIO_H_

@@ -1,0 +1,100 @@
+#include "src/mc/shrink.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/mc/explorer.h"
+#include "src/mc/policy.h"
+#include "src/mc/scenario.h"
+
+namespace locus {
+namespace mc {
+
+namespace {
+
+struct Probe {
+  const ScenarioConfig& config;
+  const std::string& violation;
+  uint64_t probes = 0;
+
+  // Runs the scenario with the given choices/crash; true if the original
+  // violation reproduces.
+  bool Violates(const std::map<uint64_t, uint32_t>& choices, int64_t crash_ordinal) {
+    GuidedPolicy policy;
+    policy.prescribed = choices;
+    policy.crash_ordinal = crash_ordinal;
+    ++probes;
+    return RunScenario(config, &policy).violation == violation;
+  }
+};
+
+}  // namespace
+
+ShrinkResult ShrinkTrace(const CounterexampleTrace& input) {
+  ShrinkResult result;
+  result.trace = input;
+  Probe probe{input.config, input.expect_violation};
+  int64_t crash_ordinal = input.crash.has_value() ? input.crash->ordinal : -1;
+
+  if (!probe.Violates(input.choices, crash_ordinal)) {
+    result.probes = probe.probes;
+    return result;  // Not reproducible; leave the trace untouched.
+  }
+  result.reproduced = true;
+
+  // Try dropping the crash outright (schedule-only violations are simpler).
+  if (crash_ordinal >= 0 && probe.Violates(input.choices, -1)) {
+    crash_ordinal = -1;
+  }
+
+  // ddmin over the non-default choices.
+  std::vector<std::pair<uint64_t, uint32_t>> entries(input.choices.begin(),
+                                                     input.choices.end());
+  size_t granularity = 2;
+  while (entries.size() >= 2 && granularity <= entries.size()) {
+    size_t chunk = (entries.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0; start < entries.size(); start += chunk) {
+      std::map<uint64_t, uint32_t> candidate;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          candidate.insert(entries[i]);
+        }
+      }
+      if (probe.Violates(candidate, crash_ordinal)) {
+        entries.assign(candidate.begin(), candidate.end());
+        granularity = granularity > 2 ? granularity - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= entries.size()) {
+        break;
+      }
+      granularity = std::min(entries.size(), granularity * 2);
+    }
+  }
+  if (entries.size() == 1) {
+    if (probe.Violates({}, crash_ordinal)) {
+      entries.clear();
+    }
+  }
+
+  // Final run refreshes digest, labels, and the crash's advisory fields.
+  GuidedPolicy policy;
+  for (const auto& entry : entries) {
+    policy.prescribed.insert(entry);
+  }
+  policy.crash_ordinal = crash_ordinal;
+  RunResult run = RunScenario(input.config, &policy);
+  ++probe.probes;
+  result.trace = TraceFromRun(input.config, policy, run);
+  result.probes = probe.probes;
+  return result;
+}
+
+}  // namespace mc
+}  // namespace locus

@@ -1,0 +1,33 @@
+// Delta-debugging shrinker for counterexample traces.
+//
+// A violating decision sequence found by DFS or PCT sampling usually carries
+// many incidental reorderings; ddmin prunes the non-default choices down to
+// a locally minimal set that still produces the SAME violation (same
+// invariant name — shrinking must not wander onto a different bug), and
+// drops the injected crash if the violation survives without it. Every probe
+// is a full deterministic re-execution.
+
+#ifndef SRC_MC_SHRINK_H_
+#define SRC_MC_SHRINK_H_
+
+#include <cstdint>
+
+#include "src/mc/counterexample.h"
+
+namespace locus {
+namespace mc {
+
+struct ShrinkResult {
+  CounterexampleTrace trace;  // Minimized; digest/labels refreshed by a final run.
+  uint64_t probes = 0;        // Re-executions spent.
+  // False when the input trace did not reproduce its violation (nothing to
+  // shrink; `trace` is the input).
+  bool reproduced = false;
+};
+
+ShrinkResult ShrinkTrace(const CounterexampleTrace& input);
+
+}  // namespace mc
+}  // namespace locus
+
+#endif  // SRC_MC_SHRINK_H_

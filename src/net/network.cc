@@ -21,9 +21,11 @@ void Responder::operator()(Message reply) const {
   net_->stats().Add(net_->messages_id_);
   Network* net = net_;
   uint64_t id = call_id_;
-  net->sim_->Schedule(net->OneWayLatency(reply.size_bytes), [net, id, reply = std::move(reply)] {
-    net->CompleteCall(id, RpcResult{true, reply});
-  });
+  EventInfo info{EventTag::kRpcReply, site_, call.from, static_cast<int32_t>(call_id_)};
+  net->sim_->Schedule(net->OneWayLatency(reply.size_bytes), info,
+                      [net, id, reply = std::move(reply)] {
+                        net->CompleteCall(id, RpcResult{true, reply});
+                      });
 }
 
 Network::Network(Simulation* sim, TraceLog* trace)
@@ -73,7 +75,8 @@ void Network::Send(SiteId from, SiteId to, Message msg) {
     return;
   }
   stats_.Add(messages_id_);
-  sim_->Schedule(OneWayLatency(msg.size_bytes),
+  EventInfo info{EventTag::kNetDeliver, from, to, msg.type};
+  sim_->Schedule(OneWayLatency(msg.size_bytes), info,
                  [this, from, to, msg = std::move(msg)]() mutable {
                    Deliver(from, to, std::move(msg), Responder());
                  });
@@ -95,11 +98,13 @@ RpcResult Network::Call(SiteId from, SiteId to, Message request, SimTime timeout
 
   stats_.Add(messages_id_);
   Responder responder(this, id, to);
-  sim_->Schedule(OneWayLatency(request.size_bytes),
+  EventInfo deliver_info{EventTag::kNetDeliver, from, to, request.type};
+  sim_->Schedule(OneWayLatency(request.size_bytes), deliver_info,
                  [this, from, to, responder, request = std::move(request)]() mutable {
                    Deliver(from, to, std::move(request), responder);
                  });
-  sim_->Schedule(timeout, [this, id] {
+  EventInfo timeout_info{EventTag::kRpcTimeout, from, to, static_cast<int32_t>(id)};
+  sim_->Schedule(timeout, timeout_info, [this, id] {
     CompleteCall(id, RpcResult{false, {}});
   });
 
@@ -186,7 +191,8 @@ void Network::NotifyTopologyChanged() {
   // protocol; surviving sites learn of the change after a detection delay.
   for (size_t i = 0; i < sites_.size(); ++i) {
     SiteId id = static_cast<SiteId>(i);
-    sim_->Schedule(kFailureDetectDelay, [this, id] {
+    EventInfo info{EventTag::kTopology, id, -1, -1};
+    sim_->Schedule(kFailureDetectDelay, info, [this, id] {
       if (!sites_[id].alive) {
         return;
       }
@@ -208,7 +214,10 @@ void Network::FailUnreachableCalls() {
   // order, keeping partition runs deterministic.
   std::sort(failed.begin(), failed.end());
   for (uint64_t id : failed) {
-    sim_->Schedule(kFailureDetectDelay,
+    auto call_it = pending_calls_.find(id);
+    EventInfo info{EventTag::kRpcTimeout, call_it->second.from, call_it->second.to,
+                   static_cast<int32_t>(id)};
+    sim_->Schedule(kFailureDetectDelay, info,
                    [this, id] { CompleteCall(id, RpcResult{false, {}}); });
   }
 }

@@ -16,10 +16,13 @@
 
 #include <any>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <typeinfo>
 #include <unordered_map>
 #include <vector>
 
@@ -40,9 +43,21 @@ struct Message {
   int32_t size_bytes = 64;
   std::any payload;
 
+  // Checked payload access: a payload/type mismatch is a protocol bug (a
+  // handler registered for the wrong message type, or a reply built with the
+  // wrong struct), so it aborts loudly instead of dereferencing null.
   template <typename T>
   const T& As() const {
-    return *std::any_cast<T>(&payload);
+    const T* typed = std::any_cast<T>(&payload);
+    if (typed == nullptr) {
+      fprintf(stderr,
+              "Message::As: payload type mismatch on message type %d: expected %s, "
+              "actual %s\n",
+              type, typeid(T).name(),
+              payload.has_value() ? payload.type().name() : "(empty)");
+      abort();
+    }
+    return *typed;
   }
 };
 

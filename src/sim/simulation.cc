@@ -1,7 +1,10 @@
 #include "src/sim/simulation.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #ifdef LOCUS_SIM_FIBERS
 #include <sys/mman.h>
@@ -13,6 +16,57 @@ namespace locus {
 namespace {
 thread_local SimProcess* g_current_process = nullptr;
 }  // namespace
+
+std::string EventInfoLabel(const EventInfo& info) {
+  char buf[64];
+  switch (info.tag) {
+    case EventTag::kGeneric:
+      return "evt";
+    case EventTag::kWakeup:
+      snprintf(buf, sizeof(buf), "wake:p%d", info.a);
+      return buf;
+    case EventTag::kSleepDone:
+      snprintf(buf, sizeof(buf), "sleep:p%d", info.a);
+      return buf;
+    case EventTag::kNetDeliver:
+      snprintf(buf, sizeof(buf), "dlv:%d>%d:t%d", info.a, info.b, info.c);
+      return buf;
+    case EventTag::kRpcReply:
+      snprintf(buf, sizeof(buf), "rpy:%d>%d:c%d", info.a, info.b, info.c);
+      return buf;
+    case EventTag::kRpcTimeout:
+      snprintf(buf, sizeof(buf), "tmo:%d>%d:c%d", info.a, info.b, info.c);
+      return buf;
+    case EventTag::kTopology:
+      snprintf(buf, sizeof(buf), "topo:s%d", info.a);
+      return buf;
+  }
+  return "evt";
+}
+
+const char* ProtocolStepName(ProtocolStep step) {
+  switch (step) {
+    case ProtocolStep::kCoordLogWritten:
+      return "coord_log_written";
+    case ProtocolStep::kBeforeCommitMark:
+      return "before_commit_mark";
+    case ProtocolStep::kAfterCommitMark:
+      return "after_commit_mark";
+    case ProtocolStep::kBeforeCommitSend:
+      return "before_commit_send";
+    case ProtocolStep::kBeforePrepareLog:
+      return "before_prepare_log";
+    case ProtocolStep::kAfterPrepareLog:
+      return "after_prepare_log";
+    case ProtocolStep::kPrepareReplySent:
+      return "prepare_reply_sent";
+    case ProtocolStep::kBeforeCommitInstall:
+      return "before_commit_install";
+    case ProtocolStep::kAfterCommitInstall:
+      return "after_commit_install";
+  }
+  return "unknown_step";
+}
 
 // ---------------------------------------------------------------------------
 // SimProcess — fiber backend
@@ -213,13 +267,23 @@ Simulation::~Simulation() {
 }
 
 void Simulation::Schedule(SimTime delay, std::function<void()> fn) {
+  Schedule(delay, EventInfo{}, std::move(fn));
+}
+
+void Simulation::Schedule(SimTime delay, EventInfo info, std::function<void()> fn) {
   assert(delay >= 0);
-  ScheduleAt(now_ + delay, std::move(fn));
+  ScheduleAt(now_ + delay, info, std::move(fn));
 }
 
 void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  ScheduleAt(when, EventInfo{}, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime when, EventInfo info, std::function<void()> fn) {
   assert(when >= now_);
-  events_.push(Event{when, next_seq_++, std::move(fn)});
+  // policy-ok: the one sanctioned seq assignment; ties are later resolved
+  // through PopNext's SchedulePolicy consultation.
+  events_.push(Event{when, next_seq_++, info, std::move(fn)});
 }
 
 SimProcess* Simulation::Spawn(std::string name, std::function<void()> body) {
@@ -249,22 +313,109 @@ void Simulation::MakeReady(SimProcess* p) {
     return;  // Stale wake-up for a process that already died.
   }
   p->state_ = SimProcess::State::kReady;
-  Schedule(0, [p] {
+  EventInfo info{EventTag::kWakeup, static_cast<int32_t>(p->id_), -1, -1};
+  Schedule(0, info, [p] {
     if (p->state_ == SimProcess::State::kReady) {
       p->RunUntilParked();
     }
   });
 }
 
+namespace {
+
+bool IsNetworkTag(EventTag tag) {
+  switch (tag) {
+    case EventTag::kNetDeliver:
+    case EventTag::kRpcReply:
+    case EventTag::kRpcTimeout:
+    case EventTag::kTopology:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Simulation::Event Simulation::PopNext(SimTime limit) {
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  if (policy_ == nullptr || events_.empty()) {
+    return ev;
+  }
+  // Two or more events at one virtual time form a tie. With a TieWindow,
+  // later network events close behind an earliest network event join it too:
+  // choosing one first models its message arriving early (equivalently, the
+  // passed-over deliveries being delayed), which is real network
+  // nondeterminism the fixed latency model otherwise hides. Non-network
+  // events are never reordered across time, and because the heap yields
+  // events in (time, seq) order, one sitting inside the window also caps it.
+  const SimTime window = policy_->TieWindow();
+  const SimTime base = ev.time;
+  const bool widen = window > 0 && IsNetworkTag(ev.info.tag);
+  auto joins_tie = [&](const Event& top) {
+    if (top.time == base) {
+      return true;
+    }
+    return widen && IsNetworkTag(top.info.tag) && top.time <= base + window &&
+           top.time <= limit;
+  };
+  if (!joins_tie(events_.top())) {
+    return ev;
+  }
+  std::vector<Event> ties;
+  ties.push_back(std::move(ev));
+  while (!events_.empty() && joins_tie(events_.top())) {
+    ties.push_back(std::move(const_cast<Event&>(events_.top())));
+    events_.pop();
+  }
+  std::vector<EventInfo> options;
+  options.reserve(ties.size());
+  for (const Event& t : ties) {
+    options.push_back(t.info);
+  }
+  size_t pick = policy_->PickNext(ties.front().time, options);
+  if (pick >= ties.size()) {
+    pick = 0;
+  }
+  Event chosen = std::move(ties[pick]);
+  for (size_t i = 0; i < ties.size(); ++i) {
+    if (i != pick) {
+      events_.push(std::move(ties[i]));
+    }
+  }
+  return chosen;
+}
+
+void Simulation::CheckDrainWatchdog() {
+  if (drain_watchdog_ == DrainWatchdog::kOff || !events_.empty() || stop_requested_) {
+    return;
+  }
+  int blocked = blocked_process_count();
+  if (blocked == 0) {
+    return;
+  }
+  fprintf(stderr,
+          "sim: event queue drained with %d process(es) still blocked — lost "
+          "wake-up or deadlock\n",
+          blocked);
+  DumpProcesses();
+  if (drain_watchdog_ == DrainWatchdog::kFatal) {
+    abort();
+  }
+  drain_watchdog_tripped_ = true;
+}
+
 void Simulation::Run() {
   stop_requested_ = false;
   while (!events_.empty() && !stop_requested_) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    assert(ev.time >= now_);
-    now_ = ev.time;
+    Event ev = PopNext(std::numeric_limits<SimTime>::max());
+    // A policy with a TieWindow may run a delayed event first; the passed-over
+    // events then execute at the later now_, so only advance time forward.
+    now_ = std::max(now_, ev.time);
     ev.fn();
   }
+  CheckDrainWatchdog();
 }
 
 void Simulation::RunFor(SimTime duration) {
@@ -272,8 +423,7 @@ void Simulation::RunFor(SimTime duration) {
   stop_requested_ = false;
   int64_t spin = 0;
   while (!events_.empty() && !stop_requested_ && events_.top().time <= deadline) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
+    Event ev = PopNext(deadline);
     if (ev.time == now_) {
       if (++spin > 2000000) {
         fprintf(stderr, "sim: suspected zero-delay event loop at t=%lld us\n",
@@ -283,12 +433,13 @@ void Simulation::RunFor(SimTime duration) {
     } else {
       spin = 0;
     }
-    now_ = ev.time;
+    now_ = std::max(now_, ev.time);
     ev.fn();
   }
   if (now_ < deadline) {
     now_ = deadline;
   }
+  CheckDrainWatchdog();
 }
 
 void Simulation::Sleep(SimTime duration) {
@@ -299,7 +450,8 @@ void Simulation::Sleep(SimTime duration) {
     return;
   }
   self->state_ = SimProcess::State::kBlocked;
-  Schedule(duration, [this, self] { MakeReady(self); });
+  EventInfo info{EventTag::kSleepDone, static_cast<int32_t>(self->id_), -1, -1};
+  Schedule(duration, info, [this, self] { MakeReady(self); });
   self->YieldToScheduler();
 }
 

@@ -56,6 +56,105 @@ namespace locus {
 class Simulation;
 class SimProcess;
 
+// ---------------------------------------------------------------------------
+// Decision-point interface (schedule-space exploration; see src/mc).
+//
+// The engine resolves every source of "who goes first" nondeterminism by a
+// fixed rule: events that tie at one virtual time run in schedule order
+// (seq). That rule is correct but arbitrary — a real cluster could resolve
+// each tie either way. A SchedulePolicy, when installed, is consulted at
+// every such tie and may pick any of the tied events, letting a model
+// checker own the schedule and search the interleaving space. With no policy
+// installed (the default) the engine's behavior is bit-for-bit identical to
+// the historical fixed order, and the hot path is untouched.
+
+// What a schedulable event represents, so policies can tell message traffic
+// from process wake-ups without parsing strings. The int fields are
+// tag-specific (see comments); -1 means "not applicable".
+enum class EventTag : uint8_t {
+  kGeneric = 0,   // Untagged internal event.
+  kWakeup,        // Process becomes runnable.       a = pid
+  kSleepDone,     // Sleep timer expiry.             a = pid
+  kNetDeliver,    // Message delivery.               a = from, b = to, c = msg type
+  kRpcReply,      // RPC reply completion.           a = responder site, b = caller site, c = call id
+  kRpcTimeout,    // RPC timeout / failure firing.   a = caller site, b = dest site, c = call id
+  kTopology,      // Topology-change notification.   a = site
+};
+
+struct EventInfo {
+  EventTag tag = EventTag::kGeneric;
+  int32_t a = -1;
+  int32_t b = -1;
+  int32_t c = -1;
+};
+
+// Compact human-readable label ("dlv:0>1:t7", "wake:p12") used in
+// counterexample traces and sleep-set bookkeeping.
+std::string EventInfoLabel(const EventInfo& info);
+
+// Two-phase-commit protocol steps at which a site crash may be injected,
+// aligned with the section 4 log writes (see DESIGN.md). The kernel consults
+// Simulation::AtCrashPoint at each; the crash-point enumerator in src/mc
+// sweeps every (step, site) occurrence of a run.
+enum class ProtocolStep : uint8_t {
+  kCoordLogWritten = 0,  // Coordinator: after the coordinator log append.
+  kBeforeCommitMark,     // Coordinator: before the commit-mark log update.
+  kAfterCommitMark,      // Coordinator: after the commit mark is durable.
+  kBeforeCommitSend,     // Coordinator: before sending one commit message.
+  kBeforePrepareLog,     // Participant: before the prepare log append.
+  kAfterPrepareLog,      // Participant: after the prepare record is durable.
+  kPrepareReplySent,     // Participant: after the prepare reply left.
+  kBeforeCommitInstall,  // Participant: before installing intentions.
+  kAfterCommitInstall,   // Participant: after installing intentions.
+};
+inline constexpr int kProtocolStepCount = 9;
+
+const char* ProtocolStepName(ProtocolStep step);
+
+// Pluggable resolver for the engine's decision points. Stateless by default:
+// the base implementation reproduces the historical fixed order exactly.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  // Called when `options.size() >= 2` events tie at virtual time `now`.
+  // Options are listed in the engine's historical (seq) order; returning 0
+  // preserves that order. Out-of-range returns are clamped to 0.
+  virtual size_t PickNext(SimTime now, const std::vector<EventInfo>& options) {
+    (void)now;
+    (void)options;
+    return 0;
+  }
+
+  // Called at each two-phase-commit protocol step; returning true crashes
+  // `site` at that instant (the caller performs the crash and unwinds).
+  virtual bool CrashAt(ProtocolStep step, int32_t site) {
+    (void)step;
+    (void)site;
+    return false;
+  }
+
+  // Tie-widening window. Exact-time ties are rare in a discrete-event
+  // simulation, so a policy may declare that network events (deliveries,
+  // replies, timeouts, topology) within this much virtual time of the
+  // earliest pending event count as one tie: picking a later one first
+  // models that message being delayed by up to the window, and the passed-
+  // over events then run at the chosen event's (later) time. 0 (the
+  // default) restricts consultations to exact ties. Non-network events are
+  // never reordered across time and cap the widened window when they
+  // interleave.
+  virtual SimTime TieWindow() const { return 0; }
+};
+
+// What Run/RunFor do when the event queue drains while processes are still
+// blocked (a lost wake-up or genuine deadlock — there is no event left that
+// could ever wake them).
+enum class DrainWatchdog {
+  kOff,     // Historical behavior: blocked_process_count() reports it.
+  kReport,  // DumpProcesses() to stderr and latch drain_watchdog_tripped().
+  kFatal,   // DumpProcesses() to stderr and abort() (hard test failure).
+};
+
 // Thrown inside a SimProcess body when the simulation is tearing down while
 // the process is still blocked; unwinds the body so its stack can be freed.
 // Process bodies must be exception safe (RAII) but should not catch this.
@@ -155,8 +254,27 @@ class Simulation {
   Rng& rng() { return rng_; }
 
   // Schedules `fn` to run in event context after `delay` of virtual time.
+  // The EventInfo overloads tag the event so an installed SchedulePolicy can
+  // tell what it is deciding between at a same-time tie.
   void Schedule(SimTime delay, std::function<void()> fn);
+  void Schedule(SimTime delay, EventInfo info, std::function<void()> fn);
   void ScheduleAt(SimTime when, std::function<void()> fn);
+  void ScheduleAt(SimTime when, EventInfo info, std::function<void()> fn);
+
+  // --- Decision points (schedule-space exploration; src/mc) ---
+  // The policy is not owned; it must outlive its installation. Installing
+  // nullptr restores the historical fixed order.
+  void set_schedule_policy(SchedulePolicy* policy) { policy_ = policy; }
+  SchedulePolicy* schedule_policy() const { return policy_; }
+  // Consults the installed policy at a protocol step; false with no policy.
+  bool AtCrashPoint(ProtocolStep step, int32_t site) {
+    return policy_ != nullptr && policy_->CrashAt(step, site);
+  }
+
+  // --- Lost-wakeup watchdog ---
+  void set_drain_watchdog(DrainWatchdog mode) { drain_watchdog_ = mode; }
+  // Latched by DrainWatchdog::kReport when a drain left blocked processes.
+  bool drain_watchdog_tripped() const { return drain_watchdog_tripped_; }
 
   // Creates a process whose body starts running at the current virtual time.
   // The returned pointer stays valid until the Simulation is destroyed.
@@ -201,20 +319,34 @@ class Simulation {
   struct Event {
     SimTime time;
     uint64_t seq;
+    EventInfo info;
     std::function<void()> fn;
     bool operator>(const Event& o) const {
+      // policy-ok: the one sanctioned seq tie-break — PopNext routes ties
+      // through the installed SchedulePolicy before this order applies.
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
 
   // Marks `p` runnable at the current time (scheduler will hand it control).
   void MakeReady(SimProcess* p);
+  // Removes and returns the next event to run: the earliest-time event, with
+  // same-time ties resolved by the installed SchedulePolicy (historical seq
+  // order when none is installed or it returns 0). When the policy declares a
+  // TieWindow, network events within the window of an earliest network event
+  // also join the tie (but never past `limit`, so RunFor keeps its deadline).
+  Event PopNext(SimTime limit);
+  // Drain-time lost-wakeup check shared by Run and RunFor.
+  void CheckDrainWatchdog();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_pid_ = 1;
   bool stop_requested_ = false;
   Rng rng_;
+  SchedulePolicy* policy_ = nullptr;
+  DrainWatchdog drain_watchdog_ = DrainWatchdog::kOff;
+  bool drain_watchdog_tripped_ = false;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::vector<std::unique_ptr<SimProcess>> processes_;
 

@@ -126,6 +126,7 @@ int64_t AuditTotal(Syscalls& sys, const std::vector<std::string>& files, int acc
 
 TEST(Integration, MoneyConservedUnderConcurrencyAndDeadlocks) {
   System system(3, SystemOptions{.seed = 11});
+  system.sim().set_drain_watchdog(DrainWatchdog::kFatal);
   constexpr int kAccounts = 4;
   constexpr int64_t kInitial = 1000;
   std::vector<std::string> files = {"/b0", "/b1", "/b2"};
@@ -173,6 +174,7 @@ TEST(Integration, MoneyConservedUnderConcurrencyAndDeadlocks) {
 
 TEST(Integration, MoneyConservedAcrossStorageSiteCrash) {
   System system(3, SystemOptions{.seed = 23});
+  system.sim().set_drain_watchdog(DrainWatchdog::kFatal);
   constexpr int kAccounts = 4;
   constexpr int64_t kInitial = 500;
   std::vector<std::string> files = {"/b0", "/b1"};
@@ -220,6 +222,7 @@ TEST(Integration, BlindIncrementsSerializeExactly) {
   // different sites, with maximal contention. Two-phase locking must make
   // the result exactly N (no lost updates).
   System system(3, SystemOptions{.seed = 5});
+  system.sim().set_drain_watchdog(DrainWatchdog::kFatal);
   constexpr int kWorkers = 6;
   constexpr int kIncrementsEach = 5;
   int64_t final_value = -1;
@@ -284,6 +287,7 @@ TEST(Integration, RandomFaultSoak) {
   // non-storage sites. Invariants: no blocked processes at the end, money
   // conserved on the storage site that never fails.
   System system(4, SystemOptions{.seed = 99});
+  system.sim().set_drain_watchdog(DrainWatchdog::kFatal);
   constexpr int kAccounts = 6;
   constexpr int64_t kInitial = 300;
   int64_t audited = -1;

@@ -15,7 +15,11 @@ std::string Text(const std::vector<uint8_t>& b) { return {b.begin(), b.end()}; }
 
 class RecoveryTest : public ::testing::Test {
  protected:
-  RecoveryTest() : system_(3) {}
+  RecoveryTest() : system_(3) {
+    // Any process still blocked once the event queue fully drains is a lost
+    // wake-up — fail hard rather than time out.
+    system_.sim().set_drain_watchdog(DrainWatchdog::kFatal);
+  }
 
   void MakeFileAt(SiteId site, const std::string& path, const std::string& content) {
     system_.Spawn(site, "mk", [path, content](Syscalls& sys) {
