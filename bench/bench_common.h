@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/locus/system.h"
@@ -84,9 +85,13 @@ inline std::string ExtractJsonPath(int* argc, char** argv) {
 // Machine-readable result rows, written when --json=<path> was passed.
 class JsonReport {
  public:
+  // `extras` become additional numeric JSON fields on the row (e.g. the
+  // form.* per-transaction gauges); consumers that only know the four core
+  // fields ignore them.
   void Add(const std::string& bench, const std::string& config, double txn_per_s,
-           double wall_ms) {
-    rows_.push_back(Row{bench, config, txn_per_s, wall_ms});
+           double wall_ms,
+           std::vector<std::pair<std::string, double>> extras = {}) {
+    rows_.push_back(Row{bench, config, txn_per_s, wall_ms, std::move(extras)});
   }
 
   // Writes the collected rows as a JSON array; no-op with an empty path.
@@ -104,9 +109,12 @@ class JsonReport {
       const Row& r = rows_[i];
       std::fprintf(f,
                    "  {\"bench\": \"%s\", \"config\": \"%s\", \"txn_per_s\": %.2f, "
-                   "\"wall_ms\": %.1f}%s\n",
-                   r.bench.c_str(), r.config.c_str(), r.txn_per_s, r.wall_ms,
-                   i + 1 < rows_.size() ? "," : "");
+                   "\"wall_ms\": %.1f",
+                   r.bench.c_str(), r.config.c_str(), r.txn_per_s, r.wall_ms);
+      for (const auto& [key, value] : r.extras) {
+        std::fprintf(f, ", \"%s\": %.2f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -118,6 +126,7 @@ class JsonReport {
     std::string config;
     double txn_per_s;
     double wall_ms;
+    std::vector<std::pair<std::string, double>> extras;
   };
   std::vector<Row> rows_;
 };

@@ -23,8 +23,18 @@ namespace locus {
 namespace bench {
 namespace {
 
-DebitCreditResults RunWorkload(int sites, int tellers, double local_fraction) {
-  System system(sites, SystemOptions{.seed = 42});
+struct RunOutput {
+  DebitCreditResults results;
+  // The form.* per-transaction gauges (real units, not the registry's milli
+  // fixed-point): wire messages and log forces per committed transaction.
+  double messages_per_txn = 0.0;
+  double log_forces_per_txn = 0.0;
+};
+
+RunOutput RunWorkload(int sites, int tellers, double local_fraction, bool formation) {
+  SystemOptions opts{.seed = 42};
+  opts.formation = formation;
+  System system(sites, opts);
   DebitCreditConfig config;
   config.branches = sites;
   config.accounts_per_branch = 16;
@@ -33,26 +43,31 @@ DebitCreditResults RunWorkload(int sites, int tellers, double local_fraction) {
   config.local_fraction = local_fraction;
   config.seed = 42;
   DebitCreditWorkload workload(&system, config);
-  return workload.Execute();
+  RunOutput out;
+  out.results = workload.Execute();
+  out.messages_per_txn = system.stats().Get("form.messages_per_txn") / 1000.0;
+  out.log_forces_per_txn = system.stats().Get("form.log_forces_per_txn") / 1000.0;
+  return out;
 }
 
 void RunTables(JsonReport* report) {
   PrintHeader("Transaction throughput scaling (extension analysis)",
               "the section 1 workload: database operations on many small machines");
 
-  printf("cluster scaling, 3 tellers/site, uniform branch choice\n");
-  printf("%-8s %-8s %10s %10s %12s %12s %10s\n", "sites", "tellers", "commits", "retries",
-         "makespan s", "txn/s", "wall ms");
+  printf("cluster scaling, 3 tellers/site, uniform branch choice, formation on\n");
+  printf("%-8s %-8s %10s %10s %12s %12s %10s %8s %8s\n", "sites", "tellers", "commits",
+         "retries", "makespan s", "txn/s", "wall ms", "msg/txn", "frc/txn");
   printf("------------------------------------------------------------------\n");
   for (int sites : {1, 2, 3, 4, 6, 8, 12, 16}) {
     auto t0 = std::chrono::steady_clock::now();
-    DebitCreditResults r = RunWorkload(sites, sites * 3, 0.0);
+    RunOutput out = RunWorkload(sites, sites * 3, 0.0, /*formation=*/true);
+    const DebitCreditResults& r = out.results;
     double wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
-    printf("%-8d %-8d %10d %10d %12.1f %12.1f %10.1f\n", sites, sites * 3, r.committed,
-           r.aborted_attempts, ToMilliseconds(r.makespan) / 1000.0, r.throughput_tps(),
-           wall_ms);
+    printf("%-8d %-8d %10d %10d %12.1f %12.1f %10.1f %8.1f %8.2f\n", sites, sites * 3,
+           r.committed, r.aborted_attempts, ToMilliseconds(r.makespan) / 1000.0,
+           r.throughput_tps(), wall_ms, out.messages_per_txn, out.log_forces_per_txn);
     if (!r.conserved()) {
       printf("  !! CONSERVATION VIOLATED: %lld != %lld\n",
              static_cast<long long>(r.audited_total),
@@ -61,15 +76,39 @@ void RunTables(JsonReport* report) {
     report->Add("scale_throughput",
                 "sites=" + std::to_string(sites) + ",tellers=" + std::to_string(sites * 3) +
                     ",local=0.0",
-                r.throughput_tps(), wall_ms);
+                r.throughput_tps(), wall_ms,
+                {{"form_messages_per_txn", out.messages_per_txn},
+                 {"form_log_forces_per_txn", out.log_forces_per_txn}});
   }
 
-  printf("\nlocality sweep, 3 sites, 9 tellers\n");
+  printf("\nformation ablation, 16 sites, 48 tellers\n");
+  printf("%-12s %10s %12s %12s %8s %8s\n", "formation", "commits", "makespan s", "txn/s",
+         "msg/txn", "frc/txn");
+  printf("------------------------------------------------------------------\n");
+  for (bool formation : {false, true}) {
+    auto t0 = std::chrono::steady_clock::now();
+    RunOutput out = RunWorkload(16, 48, 0.0, formation);
+    const DebitCreditResults& r = out.results;
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    printf("%-12s %10d %12.1f %12.1f %8.1f %8.2f\n", formation ? "on" : "off", r.committed,
+           ToMilliseconds(r.makespan) / 1000.0, r.throughput_tps(), out.messages_per_txn,
+           out.log_forces_per_txn);
+    report->Add("scale_throughput_formation",
+                std::string("sites=16,tellers=48,form=") + (formation ? "on" : "off"),
+                r.throughput_tps(), wall_ms,
+                {{"form_messages_per_txn", out.messages_per_txn},
+                 {"form_log_forces_per_txn", out.log_forces_per_txn}});
+  }
+
+  printf("\nlocality sweep, 3 sites, 9 tellers, formation on\n");
   printf("%-16s %10s %12s %12s\n", "local fraction", "commits", "makespan s", "txn/s");
   printf("------------------------------------------------------------------\n");
   for (double local : {0.0, 0.5, 0.9, 1.0}) {
     auto t0 = std::chrono::steady_clock::now();
-    DebitCreditResults r = RunWorkload(3, 9, local);
+    RunOutput out = RunWorkload(3, 9, local, /*formation=*/true);
+    const DebitCreditResults& r = out.results;
     double wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
@@ -81,13 +120,16 @@ void RunTables(JsonReport* report) {
   }
   printf("------------------------------------------------------------------\n");
   printf("expected shape: throughput grows with sites (more disks and CPUs),\n");
-  printf("and branch-local transactions are markedly faster: their locks and\n");
-  printf("commits avoid the ~16 ms round trips (sections 6.2 and 6.3).\n");
+  printf("branch-local transactions are markedly faster (their locks and\n");
+  printf("commits avoid the ~16 ms round trips, sections 6.2 and 6.3), and\n");
+  printf("formation cuts both wire messages and log forces per transaction\n");
+  printf("by batching control traffic and sharing commit-record forces.\n");
 }
 
 void BM_DebitCreditWorkload(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunWorkload(static_cast<int>(state.range(0)), 4, 0.5));
+    benchmark::DoNotOptimize(
+        RunWorkload(static_cast<int>(state.range(0)), 4, 0.5, /*formation=*/true));
   }
 }
 BENCHMARK(BM_DebitCreditWorkload)->Arg(2)->Unit(benchmark::kMillisecond);

@@ -6,7 +6,9 @@
 #   3. model-checker smoke: exhaustive 2-site DFS, fixed-seed PCT batch, and
 #      full crash-point enumeration of a 3-site commit (src/mc), plus a
 #      negative control that rediscovers + replays the seeded PR 3 race
-#   4. benchmark regression snapshot (scale table)
+#   4. benchmark regression snapshot (scale table) + perf-gate: the fresh
+#      txn_per_s numbers must not regress beyond tolerance against the
+#      checked-in BENCH_scale.json baseline
 #   5. chaos reliability scenarios with the runtime protocol auditor observing
 #      (--audit: any 2PL / 2PC / shadow-page violation fails the run)
 #   6. UndefinedBehaviorSanitizer build + full test suite
@@ -27,7 +29,8 @@ echo "=== determinism lint ==="
 python3 scripts/lint_locus.py
 FIXTURE_OUT="$(python3 scripts/lint_locus.py scripts/lint_fixture 2>/dev/null)" \
   && { echo "lint_locus.py failed to flag the seeded fixture violations" >&2; exit 1; }
-for rule in nondeterminism "hash-order iteration" "stat counter" "decision point"; do
+for rule in nondeterminism "hash-order iteration" "stat counter" "decision point" \
+    "formation bypass"; do
   if ! grep -q "$rule" <<<"$FIXTURE_OUT"; then
     echo "lint_locus.py no longer detects the seeded '$rule' violation" >&2
     exit 1
@@ -54,6 +57,13 @@ echo "=== model-checker smoke (schedule + crash-point exploration) ==="
 # of every site): recovery must restore a consistent state at each point.
 ./build/src/mc/locus_mc --mode=crash --sites=3 --tellers=2 --transfers=1 \
     --disk-us=60000 --seed=5
+# Same sweep with RPC formation on: crashes landing between batch enqueue
+# and flush (and the presumed-abort lazy begin record) must also recover.
+./build/src/mc/locus_mc --mode=crash --sites=3 --tellers=2 --transfers=1 \
+    --disk-us=60000 --seed=5 --formation
+# DFS with formation on explores the flush-timer decision points.
+./build/src/mc/locus_mc --mode=dfs --sites=2 --tellers=2 --transfers=1 \
+    --accounts=1 --window-us=2000 --formation
 # Negative control: with the PR 3 commit-marking guard seam toggled off the
 # sweep must rediscover the race and its shrunk trace must replay exactly.
 MC_NEG_DIR="$(mktemp -d)"
@@ -71,6 +81,9 @@ echo "=== benchmark regression snapshot ==="
 ./build/bench/scale_throughput --json=build/BENCH_scale.json \
     --benchmark_filter=NONE >/dev/null
 cat build/BENCH_scale.json
+
+echo "=== perf-gate (txn_per_s vs checked-in baseline) ==="
+python3 scripts/perf_gate.py BENCH_scale.json build/BENCH_scale.json
 
 echo "=== chaos reliability under the protocol auditor ==="
 ./build/bench/chaos_reliability --audit --json=build/BENCH_chaos.json \

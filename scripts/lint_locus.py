@@ -28,6 +28,15 @@ defect are machine-checked here rather than left to review:
    sites carry a `// policy-ok` comment on the line or within the two lines
    above.
 
+5. Formation routing. The 2PC / lock protocol paths in src/locus must send
+   their control messages through the per-site FormationQueue (form().Send /
+   form().Call / form().BeginCall), never directly through Network::Send or
+   Network::Call — a direct send bypasses message coalescing AND the
+   formation-off bit-identity guarantee the ablation tests pin. Flagged when
+   a direct net()/net_ Send/Call sits within two lines of a 2PC/lock message
+   type (kPrepareReq, kCommitTxnReq, ...). Suppress a deliberate bypass with
+   `// form-ok` on the line or within the two lines above.
+
 Usage: scripts/lint_locus.py [path ...]     (default: src/)
 Exits nonzero if any finding is reported.
 """
@@ -80,6 +89,15 @@ DECISION_PATTERNS = [
     (re.compile(r"\brng(?:\(\)|_)\.(?:Next|Below|Range|Chance)\("),
      "scheduler-layer randomness; decisions must come from SchedulePolicy"),
 ]
+
+# Rule 5 applies to the kernel protocol layer (matched as a path component so
+# the seeded fixture under scripts/lint_fixture/src/locus participates too).
+FORMATION_DIRS = (os.path.join("src", "locus") + os.sep,)
+FORMATION_SUPPRESS = "form-ok"
+FORMATION_NET_CALL = re.compile(r"\bnet(?:\(\)|_)\s*\.\s*(?:Send|Call)\s*\(")
+FORMATION_MSG_TYPES = re.compile(
+    r"\bk(?:Prepare|CommitTxn|AbortTxnAtSite|Lock|Unlock|ReleaseProcess|"
+    r"ReleasePrimary|KillProcess)Req\b")
 
 LINE_COMMENT = re.compile(r"//.*$")
 
@@ -156,6 +174,27 @@ def lint_file(path, rel, root, findings):
                 if DECISION_SUPPRESS in window:
                     continue
                 findings.append(f"{rel}:{i}: decision point: {reason}")
+
+    # --- 5. 2PC/lock control messages bypassing the formation queue ---
+    if any(d in rel_slashed for d in FORMATION_DIRS):
+        for i, line in enumerate(lines, 1):
+            code = strip_comment(line)
+            if not FORMATION_NET_CALL.search(code):
+                continue
+            # The message type usually sits on the same line, but a wrapped
+            # MakeMsg argument can push it to the next line or two.
+            window = " ".join(
+                strip_comment(l) for l in lines[i - 1:min(len(lines), i + 2)])
+            m = FORMATION_MSG_TYPES.search(window)
+            if not m:
+                continue
+            suppress_window = " ".join(lines[max(0, i - 3):i])
+            if FORMATION_SUPPRESS in suppress_window:
+                continue
+            findings.append(
+                f"{rel}:{i}: formation bypass: direct Network Send/Call of "
+                f"{m.group(0)} must route through the FormationQueue "
+                f"(form().Send / form().Call); suppress with '// form-ok'")
 
     # --- 3. stat-counter naming ---
     for i, line in enumerate(lines, 1):

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over the scale-throughput snapshot.
+
+Compares a freshly generated bench JSON against the checked-in baseline,
+per (bench, config) row, on the simulated txn_per_s metric. The simulation
+is deterministic, so the tolerance is not run-to-run noise — it absorbs the
+rounding of the two-decimal snapshot format and deliberate small calibration
+drift. Anything past it is a real throughput regression and fails CI.
+
+Host wall-clock (wall_ms) and the form_* extras are informational only: wall
+time depends on the CI machine, and the messages/forces gauges have their own
+acceptance tests.
+
+Rules:
+  - A baseline row missing from the new results fails (a benchmark silently
+    disappearing is itself a regression).
+  - New rows absent from the baseline pass (refresh the baseline to pin them).
+  - txn_per_s below baseline by more than --tolerance (default 5%) fails.
+
+Usage: scripts/perf_gate.py <baseline.json> <new.json> [--tolerance=0.05]
+Exits nonzero on any failure.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    return {(r["bench"], r["config"]): r for r in rows}
+
+
+def main(argv):
+    tolerance = 0.05
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load(paths[0])
+    fresh = load(paths[1])
+
+    failures = []
+    checked = 0
+    for key, base_row in sorted(baseline.items()):
+        bench, config = key
+        if key not in fresh:
+            failures.append(f"{bench} [{config}]: missing from new results")
+            continue
+        checked += 1
+        base = base_row["txn_per_s"]
+        new = fresh[key]["txn_per_s"]
+        floor = base * (1.0 - tolerance)
+        verdict = "ok"
+        if new < floor:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{bench} [{config}]: txn_per_s {new:.2f} < {floor:.2f} "
+                f"(baseline {base:.2f} - {tolerance:.0%})")
+        print(f"  {bench} [{config}]: {base:.2f} -> {new:.2f} txn/s {verdict}")
+    for key in sorted(fresh.keys() - baseline.keys()):
+        print(f"  {key[0]} [{key[1]}]: new row (not in baseline)")
+
+    for failure in failures:
+        print(f"perf_gate: FAIL {failure}", file=sys.stderr)
+    print(f"perf_gate: {checked} rows compared, {len(failures)} failures",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

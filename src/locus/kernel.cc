@@ -9,6 +9,11 @@
 
 namespace locus {
 
+// The formation layer (src/form) cannot include locus message definitions;
+// its envelope type constant mirrors the MsgType enumerator instead.
+static_assert(kFormBatch == kFormBatchMsgType,
+              "formation batch envelope wire type out of sync");
+
 namespace {
 
 constexpr int32_t kControlMsgBytes = 96;
@@ -140,6 +145,13 @@ void Kernel::RegisterBlockingHandler(
 }
 
 void Kernel::Start() {
+  FormationQueue::Options form_opts;
+  form_opts.enabled = system_->options().formation;
+  form_opts.flush_delay = system_->options().formation_flush_delay;
+  form_opts.max_batch_bytes = system_->options().formation_max_batch_bytes;
+  form_ = std::make_unique<FormationQueue>(&net(), &stats(), site_, form_opts);
+  form_->Start();
+
   ReintegrationManager::Env env;
   env.site = site_;
   env.site_name = net().SiteName(site_);
@@ -353,7 +365,9 @@ WriteReply Kernel::ServeWrite(const WriteRequest& req) {
 void Kernel::ServeLock(const LockRequest& req, std::function<void(LockReply)> done) {
   FileStore* store = StoreFor(req.file.volume);
   if (store == nullptr) {
-    done(LockReply{Err::kNoEnt, {}});
+    LockReply no_ent;
+    no_ent.err = Err::kNoEnt;
+    done(no_ent);
     return;
   }
   FileId file = req.file;
@@ -369,10 +383,14 @@ void Kernel::ServeLock(const LockRequest& req, std::function<void(LockReply)> do
       return ByteRange{store->WorkingSize(file), length};
     };
   }
+  int64_t fetch_bytes = req.fetch_bytes;
   locks_.Request(file, req.range, owner, req.mode, req.non_transaction, req.wait,
-                 [this, store, file, owner, adopt, done](bool ok, ByteRange granted) {
+                 [this, store, file, owner, adopt, fetch_bytes, done](bool ok,
+                                                                     ByteRange granted) {
                    if (!ok) {
-                     done(LockReply{Err::kConflict, {}});
+                     LockReply conflict;
+                     conflict.err = Err::kConflict;
+                     done(conflict);
                      return;
                    }
                    if (adopt) {
@@ -388,7 +406,22 @@ void Kernel::ServeLock(const LockRequest& req, std::function<void(LockReply)> do
                      // pages the holder is about to touch.
                      store->PrefetchRange(file, granted);
                    }
-                   done(LockReply{Err::kOk, granted});
+                   LockReply grant;
+                   grant.err = Err::kOk;
+                   grant.granted = granted;
+                   if (fetch_bytes > 0) {
+                     // Section 4.3: ship the locked data with the grant. The
+                     // owner holds the lock as of this instant, so ServeRead's
+                     // access check (and the audit hook) see a legitimate read.
+                     ByteRange fetch{granted.start, std::min(fetch_bytes, granted.length)};
+                     ReadReply page = ServeRead(ReadRequest{file, fetch, owner});
+                     if (page.err == Err::kOk) {
+                       stats().Add("form.lock_fetches");
+                       grant.fetched = true;
+                       grant.bytes = std::move(page.bytes);
+                     }
+                   }
+                   done(grant);
                  },
                  std::move(recompute));
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/base/ids.h"
+#include "src/form/formation.h"
 #include "src/fs/buffer_pool.h"
 #include "src/fs/catalog.h"
 #include "src/fs/file_store.h"
@@ -129,6 +130,9 @@ class Kernel {
   TransactionManager& txn_manager() { return txns_; }
   BufferPool& buffer_pool() { return pool_; }
   ReintegrationManager& recon() { return *recon_; }
+  // This site's formation queue (src/form); created in Start(). Control-plane
+  // protocol messages route through it instead of Network::Send directly.
+  FormationQueue& form() { return *form_; }
 
   // --- Crash / recovery ---
   // Tears down all volatile state; resident processes die. Called by
@@ -218,6 +222,11 @@ class Kernel {
   void SendFileListMerge(OsProcess* p);
   void PropagateReplicas(const FileId& primary, const IntentionsList& intentions);
   void ClearTxnState(OsProcess* p);
+  // Sends the primary-release hints SysClose held back during the process's
+  // transaction (formation): called just before the prepare fan-out so each
+  // hint shares a batch envelope with the prepare to the same site, and again
+  // at transaction teardown / process exit as a catch-all.
+  void FlushReleaseHints(OsProcess* p);
   // Clears the file's primary-update-site designation once no update opens,
   // locks, or uncommitted writers remain at this (primary) site, letting
   // replicas serve reads locally again (section 5.2).
@@ -239,6 +248,8 @@ class Kernel {
   std::map<VolumeId, std::unique_ptr<FileStore>> stores_;
   // Replica reconciliation driver (src/recon); created in Start().
   std::unique_ptr<ReintegrationManager> recon_;
+  // Message formation queue (src/form); created in Start().
+  std::unique_ptr<FormationQueue> form_;
   // Coordinator-log record ids by transaction (volatile index of the root
   // volume's stable log).
   std::map<TxnId, uint64_t> coordinator_log_index_;

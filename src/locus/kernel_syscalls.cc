@@ -154,8 +154,19 @@ Result<int> Kernel::SysOpen(OsProcess* p, const std::string& path, OpenFlags fla
     }
   }
   Err err;
+  bool open_deferred = false;
   if (IsLocal(replica->site)) {
     err = ServeOpen(replica->file);
+  } else if (system_->options().formation && flags.write) {
+    // Formation fusion: the catalog (maintained synchronously) already
+    // confirmed the replica exists, and the storage site's open is a pure
+    // existence probe, so the kOpenReq rides in the same batch envelope as
+    // the channel's first remote lock request instead of paying its own
+    // round trip. Update opens always lock before touching data, which is
+    // what makes the write-open the profitable (and bounded) case.
+    err = Err::kOk;
+    open_deferred = true;
+    stats().Add("form.opens_deferred");
   } else {
     RpcResult res =
         net().Call(site_, replica->site, MakeMsg(kOpenReq, OpenRequest{replica->file}));
@@ -175,6 +186,7 @@ Result<int> Kernel::SysOpen(OsProcess* p, const std::string& path, OpenFlags fla
   ch->writable = flags.write;
   ch->append_mode = flags.append;
   ch->open_for_update = flags.write;
+  ch->open_deferred = open_deferred;
   int fd = p->next_fd++;
   p->fds[fd] = std::move(ch);
   stats().Add("sys.opens");
@@ -206,9 +218,14 @@ Err Kernel::SysClose(OsProcess* p, int fd) {
     // (retained locks or uncommitted records may still pin it there).
     if (IsLocal(ch->storage_site)) {
       MaybeReleasePrimary(ch->file);
+    } else if (system_->options().formation && p->txn.valid()) {
+      // The hint is advisory while this transaction retains its locks (the
+      // primary stays pinned anyway), so hold it and let it ride the prepare
+      // envelope to the same site at commit time.
+      p->deferred_release_hints.emplace_back(ch->storage_site, ch->file);
     } else {
-      net().Send(site_, ch->storage_site,
-                 MakeMsg(kReleasePrimaryReq, ReleasePrimaryRequest{ch->file}));
+      form().Send(ch->storage_site,
+                  MakeMsg(kReleasePrimaryReq, ReleasePrimaryRequest{ch->file}));
     }
   }
   return Err::kOk;
@@ -249,10 +266,35 @@ Result<std::vector<uint8_t>> Kernel::SysRead(OsProcess* p, int fd, int64_t lengt
   if (lock_err != Err::kOk) {
     return {lock_err, {}};
   }
+  // Formation fusion (section 4.3): data shipped with this transaction's lock
+  // grant satisfies the read locally. The lock held since the fetch keeps the
+  // bytes current; consume-once so any later read revalidates at the store.
+  if (!ch->prefetch.empty() && p->txn.valid() && ch->prefetch_txn == p->txn &&
+      ch->prefetch_offset == ch->offset &&
+      static_cast<int64_t>(ch->prefetch.size()) == length) {
+    std::vector<uint8_t> bytes = std::move(ch->prefetch);
+    ch->prefetch.clear();
+    ch->prefetch_txn = kNoTxn;
+    stats().Add("form.prefetch_hits");
+    NoteUse(p, *ch);
+    ch->offset += static_cast<int64_t>(bytes.size());
+    return {Err::kOk, std::move(bytes)};
+  }
   ReadRequest req{ch->file, range, OwnerOf(p)};
   ReadReply reply;
   if (IsLocal(ch->storage_site)) {
     reply = ServeRead(req);
+  } else if (ch->open_deferred) {
+    // First remote exchange on a deferred-open channel: the open probe rides
+    // the same envelope as the read.
+    ch->open_deferred = false;
+    auto [open_res, read_res] = form().Call2(
+        ch->storage_site, MakeMsg(kOpenReq, OpenRequest{ch->file}), MakeMsg(kReadReq, req));
+    (void)open_res;  // The read's own result subsumes the existence probe.
+    if (!read_res.ok) {
+      return {Err::kUnreachable, {}};
+    }
+    reply = read_res.reply.As<ReadReply>();
   } else {
     RpcResult res = net().Call(site_, ch->storage_site, MakeMsg(kReadReq, req));
     if (!res.ok) {
@@ -304,15 +346,33 @@ Err Kernel::SysWrite(OsProcess* p, int fd, const std::vector<uint8_t>& bytes) {
     reply = ServeWrite(req);
   } else {
     int32_t size = kControlMsgBytes + static_cast<int32_t>(bytes.size());
-    RpcResult res = net().Call(site_, ch->storage_site, MakeMsg(kWriteReq, req, size));
-    if (!res.ok) {
-      return Err::kUnreachable;
+    if (ch->open_deferred) {
+      // First remote exchange on a deferred-open channel: the open probe
+      // rides the same envelope as the write.
+      ch->open_deferred = false;
+      auto [open_res, write_res] =
+          form().Call2(ch->storage_site, MakeMsg(kOpenReq, OpenRequest{ch->file}),
+                       MakeMsg(kWriteReq, req, size));
+      (void)open_res;  // The write's own result subsumes the existence probe.
+      if (!write_res.ok) {
+        return Err::kUnreachable;
+      }
+      reply = write_res.reply.As<WriteReply>();
+    } else {
+      RpcResult res = net().Call(site_, ch->storage_site, MakeMsg(kWriteReq, req, size));
+      if (!res.ok) {
+        return Err::kUnreachable;
+      }
+      reply = res.reply.As<WriteReply>();
     }
-    reply = res.reply.As<WriteReply>();
   }
   if (reply.err != Err::kOk) {
     return reply.err;
   }
+  // A write through the channel supersedes any data shipped with a lock
+  // grant; drop it rather than serve a stale image.
+  ch->prefetch.clear();
+  ch->prefetch_txn = kNoTxn;
   if (outside_txn || !p->txn.valid()) {
     // Conventional update: commits at close (or explicit CommitFile).
     p->nontxn_dirty.insert(ch->file);
@@ -407,6 +467,9 @@ Result<std::vector<ReplicaStatusEntry>> Kernel::SysReplicaStatus(OsProcess* p,
 // Locking
 
 Result<ByteRange> Kernel::RequestLock(OsProcess* p, Channel& ch, LockRequest req) {
+  // Largest fetch the storage site is asked to piggyback on a grant: one
+  // page's worth, matching the paper's "page arrives with the lock" unit.
+  constexpr int64_t kMaxLockFetchBytes = 4096;
   LockReply reply;
   if (IsLocal(ch.storage_site)) {
     BurnCpu(kLockServiceInstructions);
@@ -421,8 +484,31 @@ Result<ByteRange> Kernel::RequestLock(OsProcess* p, Channel& ch, LockRequest req
       wake.Wait();
     }
   } else {
-    RpcResult res = net().Call(site_, ch.storage_site, MakeMsg(kLockReq, req),
-                               /*timeout=*/Seconds(600));
+    if (system_->options().formation && req.owner.txn.valid() && !req.non_transaction &&
+        !req.append && ch.readable && req.range.length > 0 &&
+        req.range.length <= kMaxLockFetchBytes) {
+      // Section 4.3 fusion: the storage site ships the locked bytes with the
+      // grant, so the transaction's follow-up read of this range completes
+      // locally (see SysRead). Valid for shared grants too — the lock itself
+      // keeps writers away while it is held.
+      req.fetch_bytes = req.range.length;
+    }
+    RpcResult res;
+    if (ch.open_deferred) {
+      // The deferred open probe travels in the same batch envelope as this
+      // first lock request (4 wire messages fused into 2).
+      ch.open_deferred = false;
+      auto [open_res, lock_res] =
+          form().Call2(ch.storage_site, MakeMsg(kOpenReq, OpenRequest{ch.file}),
+                       MakeMsg(kLockReq, req), /*timeout=*/Seconds(600));
+      // The probe is a pure existence check the catalog already vouched for;
+      // the lock outcome (and any later data exchange) subsumes it.
+      (void)open_res;
+      res = lock_res;
+    } else {
+      res = form().Call(ch.storage_site, MakeMsg(kLockReq, req),
+                        /*timeout=*/Seconds(600));
+    }
     if (!res.ok) {
       // Withdraw the queued request. After a timeout nobody is listening for
       // the grant, and a still-queued entry would later be granted to this
@@ -430,8 +516,8 @@ Result<ByteRange> Kernel::RequestLock(OsProcess* p, Channel& ch, LockRequest req
       // forever — the reply-side stale-grant undo below never runs because
       // the reply is dropped.
       if (req.owner.txn.valid() && net().Reachable(site_, ch.storage_site)) {
-        net().Send(site_, ch.storage_site,
-                   MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{req.owner.txn}));
+        form().Send(ch.storage_site,
+                    MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{req.owner.txn}));
       }
       return {p->txn_aborted ? Err::kAborted : Err::kUnreachable, {}};
     }
@@ -451,13 +537,20 @@ Result<ByteRange> Kernel::RequestLock(OsProcess* p, Channel& ch, LockRequest req
     if (IsLocal(ch.storage_site)) {
       ServeAbortTxnAtSite(undo.txn);
     } else {
-      net().Send(site_, ch.storage_site, MakeMsg(kAbortTxnAtSiteReq, undo));
+      form().Send(ch.storage_site, MakeMsg(kAbortTxnAtSiteReq, undo));
     }
     stats().Add("lock.stale_grants_undone");
     return {Err::kAborted, {}};
   }
   p->lock_cache[ch.file].Grant(reply.granted, req.owner, req.mode, req.non_transaction);
   p->lock_sites.insert(ch.storage_site);
+  if (reply.fetched) {
+    // Data shipped with the grant: park it on the channel for the next read
+    // of exactly this range (consume-once, invalidated by writes).
+    ch.prefetch = std::move(reply.bytes);
+    ch.prefetch_offset = reply.granted.start;
+    ch.prefetch_txn = req.owner.txn;
+  }
   if (system_->audit().enabled()) {
     // The strict-2PL acquire point: the requester accepted the grant into its
     // cache (stale grants were undone above and never reach here).
@@ -527,7 +620,7 @@ Result<ByteRange> Kernel::SysLock(OsProcess* p, int fd, int64_t length, LockOp o
       BurnCpu(kLockServiceInstructions);
       ServeUnlock(req);
     } else {
-      RpcResult res = net().Call(site_, ch->storage_site, MakeMsg(kUnlockReq, req));
+      RpcResult res = form().Call(ch->storage_site, MakeMsg(kUnlockReq, req));
       if (!res.ok) {
         return {Err::kUnreachable, {}};
       }
@@ -714,6 +807,9 @@ void Kernel::SysExit(OsProcess* p) {
   for (int fd : fds) {
     SysClose(p, fd);
   }
+  // Hints SysClose deferred for commit-time batching must not die with the
+  // process; the transaction may outlive this member.
+  FlushReleaseHints(p);
   if (p->txn.valid()) {
     if (!p->txn_top_level) {
       // Section 4.1: the completing member's file-list merges into the
@@ -732,7 +828,7 @@ void Kernel::SysExit(OsProcess* p) {
     if (IsLocal(s)) {
       ServeReleaseProcess(p->pid);
     } else {
-      net().Send(site_, s, MakeMsg(kReleaseProcessReq, ReleaseProcessRequest{p->pid}));
+      form().Send(s, MakeMsg(kReleaseProcessReq, ReleaseProcessRequest{p->pid}));
     }
   }
   if (OsProcess* parent = system_->Locate(p->parent)) {

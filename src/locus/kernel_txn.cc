@@ -119,7 +119,19 @@ Err Kernel::SysAbortTrans(OsProcess* p) {
   return Err::kOk;
 }
 
+void Kernel::FlushReleaseHints(OsProcess* p) {
+  for (const auto& [s, file] : p->deferred_release_hints) {
+    if (IsLocal(s)) {
+      MaybeReleasePrimary(file);
+    } else {
+      form().Send(s, MakeMsg(kReleasePrimaryReq, ReleasePrimaryRequest{file}));
+    }
+  }
+  p->deferred_release_hints.clear();
+}
+
 void Kernel::ClearTxnState(OsProcess* p) {
+  FlushReleaseHints(p);
   p->txn = kNoTxn;
   p->txn_nesting = 0;
   p->txn_top_level = false;
@@ -160,38 +172,107 @@ Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
   // status marker initially unknown.
   Volume* root = volumes_[0].get();
   CoordinatorLogRecord coord{txn, TxnStatus::kUnknown, record->files};
-  uint64_t log_id = root->AppendLog(coord, "coordinator_log");
+  // Presumed abort: the begin record need not hit disk before prepares go
+  // out — losing it in a crash reads back as "no decision", which recovery
+  // treats as abort. The commit mark's force below covers it.
+  uint64_t log_id = root->AppendLog(coord, "coordinator_log", Volume::LogForce::kLazy);
   coordinator_log_index_[txn] = log_id;
   MaybeCrashAt(ProtocolStep::kCoordLogWritten);
 
-  // Step 2: prepare messages to every participant site.
+  // Step 2: prepare messages to every participant site. With formation on,
+  // the close-time primary-release hints go out first (they merge into the
+  // prepare envelopes below) and the remote prepares are issued as split
+  // calls — all requests leave in one flush window, so the prepare phase
+  // costs one round trip instead of one per participant.
+  FlushReleaseHints(p);
   std::vector<SiteId> prepared;
   Err failure = Err::kOk;
-  for (SiteId s : participants) {
-    if (record->abort_requested) {
-      failure = Err::kAborted;
-      break;
+  if (system_->options().formation) {
+    // Remote prepares first (they are non-blocking to issue), then the local
+    // participant's prepare — its log force overlaps the replies in flight.
+    std::vector<std::pair<SiteId, uint64_t>> in_flight;
+    std::vector<SiteId> local_sites;
+    for (SiteId s : participants) {
+      if (record->abort_requested) {
+        failure = Err::kAborted;
+        break;
+      }
+      if (IsLocal(s)) {
+        local_sites.push_back(s);
+        continue;
+      }
+      PrepareRequest req;
+      req.txn = txn;
+      req.coordinator = site_;
+      for (const UsedFile& f : record->files) {
+        if (f.storage_site == s) {
+          req.files.push_back(f.file);
+        }
+      }
+      uint64_t id = form().BeginCall(s, MakeMsg(kPrepareReq, req));
+      if (id == 0) {
+        failure = Err::kUnreachable;
+        break;
+      }
+      in_flight.emplace_back(s, id);
     }
-    PrepareRequest req;
-    req.txn = txn;
-    req.coordinator = site_;
-    for (const UsedFile& f : record->files) {
-      if (f.storage_site == s) {
-        req.files.push_back(f.file);
+    for (SiteId s : local_sites) {
+      if (failure != Err::kOk || record->abort_requested) {
+        break;
+      }
+      PrepareRequest req;
+      req.txn = txn;
+      req.coordinator = site_;
+      for (const UsedFile& f : record->files) {
+        if (f.storage_site == s) {
+          req.files.push_back(f.file);
+        }
+      }
+      Err err = ServePrepare(req);
+      if (err == Err::kOk) {
+        prepared.push_back(s);
+      } else {
+        failure = err;
       }
     }
-    Err err;
-    if (IsLocal(s)) {
-      err = ServePrepare(req);
-    } else {
-      RpcResult res = net().Call(site_, s, MakeMsg(kPrepareReq, req));
-      err = res.ok ? res.reply.As<PrepareReply>().err : Err::kUnreachable;
+    // Every begun call must be finished, failure or not, so the pending-call
+    // records are reaped.
+    for (const auto& [s, id] : in_flight) {
+      RpcResult res = form().FinishCall(id);
+      Err err = res.ok ? res.reply.As<PrepareReply>().err : Err::kUnreachable;
+      if (err == Err::kOk) {
+        prepared.push_back(s);
+      } else if (failure == Err::kOk) {
+        failure = err;
+      }
     }
-    if (err != Err::kOk) {
-      failure = err;
-      break;
+  } else {
+    for (SiteId s : participants) {
+      if (record->abort_requested) {
+        failure = Err::kAborted;
+        break;
+      }
+      PrepareRequest req;
+      req.txn = txn;
+      req.coordinator = site_;
+      for (const UsedFile& f : record->files) {
+        if (f.storage_site == s) {
+          req.files.push_back(f.file);
+        }
+      }
+      Err err;
+      if (IsLocal(s)) {
+        err = ServePrepare(req);
+      } else {
+        RpcResult res = form().Call(s, MakeMsg(kPrepareReq, req));
+        err = res.ok ? res.reply.As<PrepareReply>().err : Err::kUnreachable;
+      }
+      if (err != Err::kOk) {
+        failure = err;
+        break;
+      }
+      prepared.push_back(s);
     }
-    prepared.push_back(s);
   }
   if (failure != Err::kOk || record->abort_requested) {
     AbortDuringCommit(record, log_id, participants);
@@ -246,15 +327,39 @@ void Kernel::SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants,
     int idle_rounds = 0;
     while (!remaining.empty() && idle_rounds < 200) {
       std::vector<SiteId> still;
-      for (SiteId s : remaining) {
-        MaybeCrashAt(ProtocolStep::kBeforeCommitSend);
-        if (IsLocal(s)) {
-          ServeCommitTxn(txn);
-          continue;
+      if (system_->options().formation) {
+        // Split calls: all commit notices leave in one flush window instead
+        // of one round trip per participant.
+        std::vector<std::pair<SiteId, uint64_t>> in_flight;
+        for (SiteId s : remaining) {
+          MaybeCrashAt(ProtocolStep::kBeforeCommitSend);
+          if (IsLocal(s)) {
+            ServeCommitTxn(txn);
+            continue;
+          }
+          uint64_t id = form().BeginCall(s, MakeMsg(kCommitTxnReq, CommitTxnRequest{txn}));
+          if (id == 0) {
+            still.push_back(s);
+            continue;
+          }
+          in_flight.emplace_back(s, id);
         }
-        RpcResult res = net().Call(site_, s, MakeMsg(kCommitTxnReq, CommitTxnRequest{txn}));
-        if (!res.ok) {
-          still.push_back(s);
+        for (const auto& [s, id] : in_flight) {
+          if (!form().FinishCall(id).ok) {
+            still.push_back(s);
+          }
+        }
+      } else {
+        for (SiteId s : remaining) {
+          MaybeCrashAt(ProtocolStep::kBeforeCommitSend);
+          if (IsLocal(s)) {
+            ServeCommitTxn(txn);
+            continue;
+          }
+          RpcResult res = form().Call(s, MakeMsg(kCommitTxnReq, CommitTxnRequest{txn}));
+          if (!res.ok) {
+            still.push_back(s);
+          }
         }
       }
       remaining = std::move(still);
@@ -283,12 +388,14 @@ void Kernel::AbortDuringCommit(TxnRecord* record, uint64_t coord_log_id,
   }
   Volume* root = volumes_[0].get();
   CoordinatorLogRecord coord{txn, TxnStatus::kAborted, record->files};
-  root->UpdateLog(coord_log_id, coord, "abort_mark");
+  // Presumed abort: the abort mark may stay unforced; a crash losing it
+  // leaves no decision on disk, which is read as abort anyway.
+  root->UpdateLog(coord_log_id, coord, "abort_mark", Volume::LogForce::kLazy);
   for (SiteId s : participants) {
     if (IsLocal(s)) {
       ServeAbortTxnAtSite(txn);
     } else {
-      net().Call(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
+      form().Call(s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
     }
   }
   root->EraseLog(coord_log_id);
@@ -357,7 +464,7 @@ void Kernel::AbortTransactionLocal(const TxnId& txn, const std::string& reason) 
       if (IsLocal(s)) {
         ServeAbortTxnAtSite(txn);
       } else {
-        net().Call(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
+        form().Call(s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
       }
     }
     // The abort cascades down the process tree: members are terminated.
@@ -368,7 +475,7 @@ void Kernel::AbortTransactionLocal(const TxnId& txn, const std::string& reason) 
       if (IsLocal(msite)) {
         KillProcessForAbort(pid, txn);
       } else {
-        net().Send(site_, msite, MakeMsg(kKillProcessReq, KillProcessRequest{pid, txn}));
+        form().Send(msite, MakeMsg(kKillProcessReq, KillProcessRequest{pid, txn}));
       }
     }
     abort_done_.erase(txn);
@@ -381,7 +488,7 @@ void Kernel::KillProcessForAbort(Pid pid, const TxnId& txn) {
   if (p == nullptr) {
     SiteId forward = procs_.ForwardingFor(pid);
     if (forward != kNoSite && net().Reachable(site_, forward)) {
-      net().Send(site_, forward, MakeMsg(kKillProcessReq, KillProcessRequest{pid, txn}));
+      form().Send(forward, MakeMsg(kKillProcessReq, KillProcessRequest{pid, txn}));
     }
     return;
   }
@@ -396,10 +503,12 @@ void Kernel::KillProcessForAbort(Pid pid, const TxnId& txn) {
       ServeReleaseProcess(pid);
       SpawnKernelProcess("abort-locks", [this, txn] { ServeAbortTxnAtSite(txn); });
     } else {
-      net().Send(site_, s, MakeMsg(kReleaseProcessReq, ReleaseProcessRequest{pid}));
+      // Back-to-back control messages to one site: the formation queue turns
+      // these into a single wire message when enabled.
+      form().Send(s, MakeMsg(kReleaseProcessReq, ReleaseProcessRequest{pid}));
       // The member may hold (or be queued for) transaction locks at sites the
       // abort cascade did not visit — its file-list never merged. Clear them.
-      net().Send(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
+      form().Send(s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{txn}));
     }
   }
   if (OsProcess* parent = system_->Locate(p->parent)) {
@@ -474,7 +583,7 @@ Err Kernel::RegisterMember(OsProcess* p, Pid child, SiteId child_site) {
     if (target == site_) {
       reply = DoMemberJoin(req);
     } else {
-      RpcResult res = net().Call(site_, target, MakeMsg(kMemberJoinReq, req));
+      RpcResult res = form().Call(target, MakeMsg(kMemberJoinReq, req));
       if (!res.ok) {
         return Err::kUnreachable;
       }
@@ -508,7 +617,7 @@ void Kernel::SendFileListMerge(OsProcess* p) {
     if (target == site_) {
       reply = DoMergeFileList(req);
     } else {
-      RpcResult res = net().Call(site_, target, MakeMsg(kMergeFileListReq, req));
+      RpcResult res = form().Call(target, MakeMsg(kMergeFileListReq, req));
       if (!res.ok) {
         return;  // Unreachable: the topology protocol aborts the transaction.
       }
@@ -538,7 +647,7 @@ void Kernel::RouteAbort(const TxnId& txn, const std::string& reason, SiteId firs
     if (target == site_) {
       reply = DoAbortRoute(req);
     } else {
-      RpcResult res = net().Call(site_, target, MakeMsg(kAbortTxnRouteReq, req));
+      RpcResult res = form().Call(target, MakeMsg(kAbortTxnRouteReq, req));
       if (!res.ok) {
         return;
       }
@@ -640,6 +749,60 @@ void Kernel::HandleTopologyChange() {
       SpawnPhaseTwo(txn, participants, log_id);
     }
   }
+  // Presumed-abort inquiry: a prepared participant whose coordinator rebooted
+  // may never be told an outcome — the coordinator's begin record is written
+  // lazily (its force rides the commit mark), so a crash before the mark
+  // leaves the rebooted coordinator with no memory of the transaction and
+  // nothing to re-drive. When the coordinator is reachable after a topology
+  // change, ask; a coordinator with no stable record answers abort
+  // (section 4.4), while one mid-commit answers unknown and we wait.
+  std::vector<std::pair<TxnId, SiteId>> inquire;
+  for (const auto& [txn, records] : prepare_log_index_) {
+    if (records.empty()) {
+      continue;
+    }
+    Volume* volume = FindVolume(records[0].first);
+    auto log_it = volume->stable_log().find(records[0].second);
+    if (log_it == volume->stable_log().end()) {
+      continue;
+    }
+    const auto* prep = std::any_cast<PrepareLogRecord>(&log_it->second.payload);
+    if (prep != nullptr && prep->coordinator != site_ &&
+        net().Reachable(site_, prep->coordinator)) {
+      inquire.push_back({txn, prep->coordinator});
+    }
+  }
+  for (const auto& [txn_ref, coordinator_ref] : inquire) {
+    TxnId txn = txn_ref;
+    SiteId coordinator = coordinator_ref;
+    SpawnKernelProcess("txn-inquire", [this, txn, coordinator] {
+      // The coordinator may still be mid-recovery (its handlers drop requests
+      // until the volatile indexes are rebuilt), so retry for a while.
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        if (prepare_log_index_.count(txn) == 0) {
+          return;  // Resolved while this process was waiting.
+        }
+        if (!net().Reachable(site_, coordinator)) {
+          return;  // Gone again; the next topology change restarts the inquiry.
+        }
+        RpcResult res =
+            form().Call(coordinator, MakeMsg(kTxnStatusReq, TxnStatusRequest{txn}));
+        if (res.ok) {
+          auto status = static_cast<TxnStatus>(res.reply.As<TxnStatusReply>().status);
+          if (status == TxnStatus::kCommitted) {
+            ServeCommitTxn(txn);
+            return;
+          }
+          if (status == TxnStatus::kAborted) {
+            ServeAbortTxnAtSite(txn);
+            return;
+          }
+          return;  // kUnknown: still deciding; the coordinator will tell us.
+        }
+        sim().Sleep(Milliseconds(300));
+      }
+    });
+  }
   // Partition heal / peer reboot: catch up any quarantined local replicas.
   if (recon_ != nullptr) {
     recon_->OnTopologyChange();
@@ -677,6 +840,9 @@ void Kernel::OnCrash() {
   }
   for (auto& [id, store] : stores_) {
     store->OnCrash();
+  }
+  if (form_ != nullptr) {
+    form_->OnCrash();
   }
   coordinator_log_index_.clear();
   prepare_log_index_.clear();
@@ -765,7 +931,7 @@ void Kernel::OnReboot() {
           if (IsLocal(s)) {
             ServeAbortTxnAtSite(coord.txn);
           } else {
-            net().Call(site_, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{coord.txn}));
+            form().Call(s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{coord.txn}));
           }
         }
         volumes_[0]->EraseLog(log_id);
@@ -792,7 +958,7 @@ void Kernel::OnReboot() {
         continue;  // Blocked: wait for the coordinator (or a later message).
       }
       RpcResult res =
-          net().Call(site_, coordinator, MakeMsg(kTxnStatusReq, TxnStatusRequest{txn}));
+          form().Call(coordinator, MakeMsg(kTxnStatusReq, TxnStatusRequest{txn}));
       if (!res.ok) {
         continue;
       }

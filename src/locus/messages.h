@@ -56,6 +56,11 @@ enum MsgType : int32_t {
   // fetch used to bring a behind replica back to currency.
   kReplicaVersionReq,
   kReplicaFetchReq,
+  // Formation batch envelope (src/form): several coalesced protocol messages
+  // to one destination in one wire message. Pinned to a value well above the
+  // dense range so new message types never collide with it; must match
+  // kFormBatchMsgType (static_assert in kernel.cc).
+  kFormBatch = 64,
 };
 
 struct OpenRequest {
@@ -95,10 +100,17 @@ struct LockRequest {
   bool non_transaction = false;
   bool wait = true;
   bool append = false;  // Lock-and-extend: range computed at end of file.
+  // Section 4.3: "the page arrives with the lock grant". When positive, the
+  // storage site ships up to this many bytes from the granted range's start
+  // in the reply, saving the follow-up read exchange. Requesters only set
+  // this when formation is on (the fused reply rides a batch envelope).
+  int64_t fetch_bytes = 0;
 };
 struct LockReply {
   Err err = Err::kOk;
   ByteRange granted;    // Actual range (meaningful for append-mode).
+  bool fetched = false;          // bytes below are valid (fetch_bytes > 0).
+  std::vector<uint8_t> bytes;    // Data shipped with the grant.
 };
 
 struct UnlockRequest {

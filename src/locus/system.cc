@@ -52,6 +52,10 @@ VolumeId System::AddVolume(SiteId site) {
   if (options_.double_write_logs) {
     volume->set_log_append_mode(Volume::LogAppendMode::kDoubleWrite);
   }
+  volume->BindStats(&stats_);
+  if (options_.formation) {
+    volume->EnableGroupCommit(&sim_);
+  }
   kernels_[site]->AttachVolume(std::move(volume));
   return id;
 }
@@ -152,7 +156,7 @@ void System::StartDeadlockDetector(SiteId site, SimTime period) {
           stats_.Add("deadlock.orphan_locks_reaped");
           trace_.Log(sim_.Now(), "detector", "reaping orphan locks of %s at site %d",
                      ToString(holder).c_str(), s);
-          net_.Send(site, s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{holder}));
+          kernel->form().Send(s, MakeMsg(kAbortTxnAtSiteReq, AbortTxnAtSiteRequest{holder}));
         }
       }
       sim_.Sleep(period);

@@ -39,6 +39,14 @@ struct SystemOptions {
   // (every access then re-validates at the storage site).
   bool disable_lock_cache = false;
   SimTime disk_latency = Disk::kDefaultAccessLatency;
+  // RPC formation + group commit (src/form): coalesce same-destination
+  // control-plane messages into batch envelopes, divert RPC replies through
+  // the per-site formation queue, and let concurrent transactions' log
+  // records share one force per volume. Off by default; with it off the
+  // event order is bit-identical to a build without the subsystem.
+  bool formation = false;
+  SimTime formation_flush_delay = Microseconds(1500);
+  int32_t formation_max_batch_bytes = 4096;
   // Runtime protocol auditor (src/audit): machine-checks 2PL coverage,
   // shadow-page isolation, and 2PC message order while the cluster runs.
   // Forced on when the build defines LOCUS_AUDIT_FORCE (cmake -DLOCUS_AUDIT=ON).

@@ -9,7 +9,8 @@
 // Scenario flags: --sites --tellers --transfers --accounts --seed --disk-us
 // --window-us (tie-widening window: network events this close together count
 // as concurrent) --guard-off (re-enables the PR 3 commit-marking race;
-// testing only).
+// testing only) --formation (routes 2PC/lock control messages through the
+// formation queue, src/form, adding flush-timer decision points).
 // Violations write a counterexample trace (--trace-out=PATH, default
 // counterexample.json) and exit 1. Replay exits 0 only when the stored
 // violation AND run digest reproduce bit-identically.
@@ -88,6 +89,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->config.tie_window_us = atoll(v);
     } else if (strcmp(argv[i], "--guard-off") == 0) {
       args->config.disable_commit_guard = true;
+    } else if (strcmp(argv[i], "--formation") == 0) {
+      args->config.formation = true;
     } else if (ParseFlag(argv[i], "--budget", &v)) {
       args->budget = strtoull(v, nullptr, 10);
     } else if (strcmp(argv[i], "--no-por") == 0) {

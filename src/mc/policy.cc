@@ -52,6 +52,8 @@ int32_t PctChooser::ActorSite(const EventInfo& info) {
       return info.b;  // Completion runs at the caller's site.
     case EventTag::kRpcTimeout:
       return info.a;  // Timeout fires at the caller's site.
+    case EventTag::kFormFlush:
+      return info.a;  // Flush runs at the batching (sender) site.
     case EventTag::kTopology:
       return info.a;
     default:

@@ -141,6 +141,7 @@ RunResult RunScenario(const ScenarioConfig& cfg, GuidedPolicy* policy) {
   opts.seed = cfg.seed;
   opts.audit = true;
   opts.test_disable_commit_marking_guard = cfg.disable_commit_guard;
+  opts.formation = cfg.formation;
   if (cfg.disk_latency_us > 0) {
     opts.disk_latency = Microseconds(cfg.disk_latency_us);
   }

@@ -45,6 +45,10 @@ struct ScenarioConfig {
   // close to the earliest pending event count as concurrent, modelling
   // delivery delays. 0 keeps exact-time ties only.
   SimTime tie_window_us = 0;
+  // Routes 2PC/lock control messages through the formation queue (src/form)
+  // and enables per-volume group commit, so the checker explores flush
+  // reorderings and crashes between batch enqueue and flush.
+  bool formation = false;
 };
 
 // What one transfer of the plan did, as reported by its teller.

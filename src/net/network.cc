@@ -18,6 +18,12 @@ void Responder::operator()(Message reply) const {
   if (!net_->Reachable(site_, call.from)) {
     return;  // Reply lost; the caller's timeout / failure detection fires.
   }
+  if (site_ != kNoSite && net_->sites_[site_].reply_router) {
+    // Formation is on at the responding site: the reply rides a batch
+    // envelope (which pays the wire accounting) instead of its own message.
+    net_->sites_[site_].reply_router(call.from, std::move(reply), call_id_);
+    return;
+  }
   net_->stats().Add(net_->messages_id_);
   Network* net = net_;
   uint64_t id = call_id_;
@@ -121,6 +127,11 @@ void Network::Deliver(SiteId from, SiteId to, Message msg, Responder responder) 
     stats_.Add("net.dropped");
     return;
   }
+  DispatchDelivered(from, to, msg, std::move(responder));
+}
+
+void Network::DispatchDelivered(SiteId from, SiteId to, const Message& msg,
+                                Responder responder) {
   Site& dest = sites_[to];
   if (static_cast<size_t>(msg.type) >= dest.handlers.size() || !dest.handlers[msg.type]) {
     stats_.Add("net.unhandled");
@@ -129,6 +140,48 @@ void Network::Deliver(SiteId from, SiteId to, Message msg, Responder responder) 
     return;
   }
   dest.handlers[msg.type](from, msg, responder);
+}
+
+uint64_t Network::PrepareCall(SiteId from, SiteId to) {
+  SimProcess* self = Simulation::Current();
+  assert(self != nullptr && "Network::PrepareCall requires process context");
+  uint64_t id = next_call_id_++;
+  PendingCall& call = pending_calls_[id];
+  call.from = from;
+  call.to = to;
+  call.caller = self;
+  call.wake = std::make_unique<WaitQueue>(sim_);
+  return id;
+}
+
+RpcResult Network::WaitCall(uint64_t call_id, SimTime timeout) {
+  auto prepared = pending_calls_.find(call_id);
+  assert(prepared != pending_calls_.end());
+  // A reply may have arrived between PrepareCall and now (split calls wait
+  // for their replies one at a time): the completion already notified an
+  // empty wait queue, so waiting would sleep forever — and the timeout must
+  // not be armed, because its CompleteCall would no-op instead of waking us.
+  if (!prepared->second.done) {
+    EventInfo timeout_info{EventTag::kRpcTimeout, prepared->second.from,
+                           prepared->second.to, static_cast<int32_t>(call_id)};
+    sim_->Schedule(timeout, timeout_info, [this, call_id] {
+      CompleteCall(call_id, RpcResult{false, {}});
+    });
+    prepared->second.wake->Wait();
+  }
+  auto it = pending_calls_.find(call_id);
+  assert(it != pending_calls_.end() && it->second.done);
+  RpcResult result = std::move(it->second.result);
+  pending_calls_.erase(it);
+  return result;
+}
+
+void Network::CompleteBatchedCall(uint64_t call_id, Message reply) {
+  CompleteCall(call_id, RpcResult{true, std::move(reply)});
+}
+
+void Network::set_reply_router(SiteId site, ReplyRouter router) {
+  sites_[site].reply_router = std::move(router);
 }
 
 void Network::CompleteCall(uint64_t call_id, RpcResult result) {

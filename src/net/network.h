@@ -119,6 +119,28 @@ class Network {
   RpcResult Call(SiteId from, SiteId to, Message request,
                  SimTime timeout = kDefaultRpcTimeout);
 
+  // --- Split-call interface (formation layer; src/form) ---
+  // The formation queue carries the request inside a batch envelope instead of
+  // letting Call schedule its own delivery, so the call setup and the wait are
+  // split: PrepareCall registers the pending-call record (and returns its id
+  // for the envelope), the sender enqueues the request, and WaitCall parks the
+  // caller with the usual timeout / failure-detection semantics.
+  uint64_t PrepareCall(SiteId from, SiteId to);
+  RpcResult WaitCall(uint64_t call_id, SimTime timeout = kDefaultRpcTimeout);
+  // Completes a split call whose reply arrived inside a batch envelope (the
+  // envelope already paid the wire latency; no further delay is charged).
+  void CompleteBatchedCall(uint64_t call_id, Message reply);
+  // Hands an unpacked batch item to the destination site's handler table,
+  // exactly as if it had been delivered as its own wire message. Event
+  // context; reachability was already checked when the envelope arrived.
+  void DispatchDelivered(SiteId from, SiteId to, const Message& msg,
+                         Responder responder);
+  // When installed, replies issued by `site` are diverted to the router
+  // (which enqueues them for batching) instead of being sent directly. The
+  // router receives the destination site, the reply, and the call id.
+  using ReplyRouter = std::function<void(SiteId dest, Message reply, uint64_t call_id)>;
+  void set_reply_router(SiteId site, ReplyRouter router);
+
   // --- Failure injection & topology ---
   bool IsAlive(SiteId site) const { return sites_[site].alive; }
   // Increments on each reboot; feeds transaction-id temporal uniqueness.
@@ -155,6 +177,7 @@ class Network {
     // Indexed by message type (a small dense enum); empty slot = no handler.
     std::vector<Handler> handlers;
     std::vector<std::function<void()>> topology_callbacks;
+    ReplyRouter reply_router;
   };
 
   struct PendingCall {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/ids.h"
@@ -35,6 +36,15 @@ struct Channel {
   bool writable = false;
   bool append_mode = false;    // Section 3.2 lock-and-extend mode.
   bool open_for_update = false;
+  // Formation: the storage site's open probe has not been sent yet; it rides
+  // in the same batch envelope as the channel's first remote lock request.
+  bool open_deferred = false;
+  // Data shipped with a lock grant (section 4.3), consumed by the next read
+  // at exactly this offset/length. Valid only while prefetch_txn still holds
+  // the lock it arrived under; any write through the channel invalidates it.
+  std::vector<uint8_t> prefetch;
+  int64_t prefetch_offset = 0;
+  TxnId prefetch_txn = kNoTxn;
 };
 
 // A file used by a transaction, with its storage site — one element of the
@@ -80,6 +90,10 @@ struct OsProcess {
   // Storage sites where this process may hold personal (non-transaction)
   // locks, released at exit.
   std::set<SiteId> lock_sites;
+  // Formation: primary-release hints for channels closed inside a still-open
+  // transaction. They are only advisory while the transaction retains its
+  // locks, so they wait here and ride the prepare envelopes at commit time.
+  std::vector<std::pair<SiteId, FileId>> deferred_release_hints;
 
   SimProcess* sim_process = nullptr;
   std::unique_ptr<WaitQueue> children_exited;  // Signalled on each child exit.

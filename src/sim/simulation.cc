@@ -40,6 +40,9 @@ std::string EventInfoLabel(const EventInfo& info) {
     case EventTag::kTopology:
       snprintf(buf, sizeof(buf), "topo:s%d", info.a);
       return buf;
+    case EventTag::kFormFlush:
+      snprintf(buf, sizeof(buf), "form:%d>%d", info.a, info.b);
+      return buf;
   }
   return "evt";
 }
@@ -329,6 +332,9 @@ bool IsNetworkTag(EventTag tag) {
     case EventTag::kRpcReply:
     case EventTag::kRpcTimeout:
     case EventTag::kTopology:
+    // A flush deadline races the deliveries it would batch behind; letting
+    // the checker reorder it against network events explores both sides.
+    case EventTag::kFormFlush:
       return true;
     default:
       return false;
@@ -392,13 +398,28 @@ void Simulation::CheckDrainWatchdog() {
     return;
   }
   int blocked = blocked_process_count();
-  if (blocked == 0) {
+  std::vector<std::string> pending;
+  for (const DrainCheck& check : drain_checks_) {
+    std::string report = check();
+    if (!report.empty()) {
+      pending.push_back(std::move(report));
+    }
+  }
+  if (blocked == 0 && pending.empty()) {
     return;
   }
-  fprintf(stderr,
-          "sim: event queue drained with %d process(es) still blocked — lost "
-          "wake-up or deadlock\n",
-          blocked);
+  if (blocked > 0) {
+    fprintf(stderr,
+            "sim: event queue drained with %d process(es) still blocked — lost "
+            "wake-up or deadlock\n",
+            blocked);
+  }
+  for (const std::string& report : pending) {
+    // The queue is empty, so no flush timer can ever fire: whatever the check
+    // reports is stranded forever — the same class of bug as a lost wake-up.
+    fprintf(stderr, "sim: event queue drained with pending work: %s\n",
+            report.c_str());
+  }
   DumpProcesses();
   if (drain_watchdog_ == DrainWatchdog::kFatal) {
     abort();

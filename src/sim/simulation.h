@@ -79,6 +79,7 @@ enum class EventTag : uint8_t {
   kRpcReply,      // RPC reply completion.           a = responder site, b = caller site, c = call id
   kRpcTimeout,    // RPC timeout / failure firing.   a = caller site, b = dest site, c = call id
   kTopology,      // Topology-change notification.   a = site
+  kFormFlush,     // Formation flush deadline.       a = site, b = dest site
 };
 
 struct EventInfo {
@@ -275,6 +276,15 @@ class Simulation {
   void set_drain_watchdog(DrainWatchdog mode) { drain_watchdog_ = mode; }
   // Latched by DrainWatchdog::kReport when a drain left blocked processes.
   bool drain_watchdog_tripped() const { return drain_watchdog_tripped_; }
+  // A drain check reports work that should never be left pending once the
+  // event queue empties (e.g. a formation queue holding messages with no
+  // armed flush timer). It returns an empty string when clean, otherwise a
+  // one-line description of the stranded state. Checks are owned by their
+  // registrants and must stay callable for as long as Run/RunFor can execute.
+  using DrainCheck = std::function<std::string()>;
+  void RegisterDrainCheck(DrainCheck check) {
+    drain_checks_.push_back(std::move(check));
+  }
 
   // Creates a process whose body starts running at the current virtual time.
   // The returned pointer stays valid until the Simulation is destroyed.
@@ -347,6 +357,7 @@ class Simulation {
   SchedulePolicy* policy_ = nullptr;
   DrainWatchdog drain_watchdog_ = DrainWatchdog::kOff;
   bool drain_watchdog_tripped_ = false;
+  std::vector<DrainCheck> drain_checks_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::vector<std::unique_ptr<SimProcess>> processes_;
 

@@ -90,28 +90,136 @@ const DiskInode* Volume::PeekInode(Ino ino) const {
   return it == inodes_.end() ? nullptr : &it->second;
 }
 
-uint64_t Volume::AppendLog(std::any payload, const char* category) {
+void Volume::BindStats(StatRegistry* stats) {
+  stats_ = stats;
+  log_forces_id_ = stats->Intern("form.log_forces");
+  group_records_id_ = stats->Intern("form.group_commit_records");
+}
+
+void Volume::EnableGroupCommit(Simulation* sim) {
+  sim_ = sim;
+  force_wait_ = std::make_unique<WaitQueue>(sim);
+}
+
+uint64_t Volume::AppendLog(std::any payload, const char* category, LogForce force) {
+  if (sim_ != nullptr) {
+    uint64_t id = next_log_id_++;
+    uint64_t stamp = ++staged_stamp_;
+    staged_.push_back(StagedRecord{false, id, std::move(payload), stamp});
+    if (force == LogForce::kForce) {
+      ForceCovering(stamp, category);
+    }
+    return id;
+  }
   disk_->Write(kLogPage, ZeroPage(), category);
   if (log_append_mode_ == LogAppendMode::kDoubleWrite) {
     // Footnote 9: the 1985 implementation also rewrote the log file's inode
     // on every append.
     disk_->Write(kInodeTablePage, ZeroPage(), "log_inode");
   }
+  if (stats_ != nullptr) {
+    stats_->Add(log_forces_id_);
+  }
   uint64_t id = next_log_id_++;
   log_[id] = LogRecord{id, std::move(payload)};
   return id;
 }
 
-void Volume::UpdateLog(uint64_t record_id, std::any payload, const char* category) {
+void Volume::UpdateLog(uint64_t record_id, std::any payload, const char* category,
+                       LogForce force) {
+  if (sim_ != nullptr) {
+    // The target is either published (its append forced) or still staged (a
+    // lazy append, e.g. an abort mark overwriting an unforced begin record).
+    assert(log_.count(record_id) == 1 || StagedContains(record_id));
+    uint64_t stamp = ++staged_stamp_;
+    staged_.push_back(StagedRecord{true, record_id, std::move(payload), stamp});
+    if (force == LogForce::kForce) {
+      ForceCovering(stamp, category);
+    }
+    return;
+  }
   assert(log_.count(record_id) == 1);
   disk_->Write(kLogPage, ZeroPage(), category);
+  if (stats_ != nullptr) {
+    stats_->Add(log_forces_id_);
+  }
   log_[record_id].payload = std::move(payload);
 }
 
-void Volume::EraseLog(uint64_t record_id) { log_.erase(record_id); }
+void Volume::ForceCovering(uint64_t stamp, const char* category) {
+  while (durable_stamp_ < stamp) {
+    if (force_in_progress_) {
+      // A force is in flight; it may or may not cover our stamp. Wait for it
+      // and re-check — if it fell short, one waiter becomes the next leader.
+      force_wait_->Wait();
+      continue;
+    }
+    force_in_progress_ = true;
+    const uint64_t covered = staged_stamp_;
+    const uint64_t batch = covered - durable_stamp_;
+    if (batch > 1 && stats_ != nullptr) {
+      // These records share one force instead of paying one each.
+      stats_->Add(group_records_id_, static_cast<int64_t>(batch));
+    }
+    disk_->Write(kLogPage, ZeroPage(), category);
+    if (log_append_mode_ == LogAppendMode::kDoubleWrite) {
+      disk_->Write(kInodeTablePage, ZeroPage(), "log_inode");
+    }
+    if (stats_ != nullptr) {
+      stats_->Add(log_forces_id_);
+    }
+    // The write completed: every record staged at capture time is durable.
+    // Publication happens here, atomically with the write's completion from
+    // the simulation's point of view (no blocking between) — a crash during
+    // the write killed this process before reaching this line, leaving the
+    // covered records unpublished, exactly as a torn force should.
+    PublishThrough(covered);
+    durable_stamp_ = covered;
+    force_in_progress_ = false;
+    force_wait_->NotifyAll();
+  }
+}
+
+void Volume::PublishThrough(uint64_t covered) {
+  size_t n = 0;
+  while (n < staged_.size() && staged_[n].stamp <= covered) {
+    StagedRecord& rec = staged_[n];
+    if (rec.is_update) {
+      log_[rec.id].payload = std::move(rec.payload);
+    } else {
+      log_[rec.id] = LogRecord{rec.id, std::move(rec.payload)};
+    }
+    ++n;
+  }
+  staged_.erase(staged_.begin(), staged_.begin() + n);
+}
+
+bool Volume::StagedContains(uint64_t record_id) const {
+  for (const StagedRecord& rec : staged_) {
+    if (rec.id == record_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Volume::EraseLog(uint64_t record_id) {
+  log_.erase(record_id);
+  // Purge staged mutations of the erased record too, or a later force would
+  // resurrect it (e.g. an abort path that appends lazily and erases at once).
+  std::erase_if(staged_, [record_id](const StagedRecord& rec) {
+    return rec.id == record_id;
+  });
+}
 
 void Volume::OnCrash() {
   disk_->DropPendingRequests();
+  // Staged-but-unforced log records die with the buffer cache; any force that
+  // was in flight died with the process driving it.
+  staged_.clear();
+  staged_stamp_ = 0;
+  durable_stamp_ = 0;
+  force_in_progress_ = false;
   // Volatile counters are lost; recompute from stable structures.
   next_ino_ = 1;
   for (const auto& [ino, inode] : inodes_) {

@@ -225,6 +225,47 @@ TEST(McPct, FixedSeedBatchIsCleanAndDeterministic) {
   EXPECT_EQ(a.stats.max_decisions, b.stats.max_decisions);
 }
 
+// With formation routing the 2PC/lock control messages through batch
+// envelopes, the checker's tree gains kFormFlush decision points (flush
+// timers racing the deliveries they defer). Exhaustive DFS over the widened
+// 2-site config stays clean: no interleaving of enqueue, flush, and delivery
+// breaks the oracle.
+TEST(McFormation, DfsExhaustsWithFormationOn) {
+  ScenarioConfig config;
+  config.sites = 2;
+  config.tellers = 2;
+  config.transfers_per_teller = 1;
+  config.accounts_per_branch = 1;
+  config.tie_window_us = 2000;
+  config.formation = true;
+
+  ExploreResult result = ExhaustiveDfs(config, DfsOptions{});
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.counterexample.has_value());
+  EXPECT_GT(result.stats.branch_points, 0u);
+}
+
+// Crashing at every 2PC protocol step with formation on covers the new
+// window the subsystem introduces: a site dying between batch enqueue and
+// flush takes the queued prepares/commits with it. Recovery must still reach
+// a consistent, fully readable state from every such point, with the
+// protocol auditor clean.
+TEST(McFormation, CrashSweepCleanWithFormationOn) {
+  ScenarioConfig config;
+  config.sites = 3;
+  config.tellers = 2;
+  config.transfers_per_teller = 1;
+  config.seed = 5;
+  config.disk_latency_us = 60000;
+  config.formation = true;
+
+  CrashSweepResult sweep = CrashSweep(config);
+  EXPECT_GT(sweep.crash_points, 10u);
+  EXPECT_TRUE(sweep.counterexamples.empty())
+      << sweep.counterexamples.front().expect_violation << ": "
+      << sweep.counterexamples.front().choices.size();
+}
+
 }  // namespace
 }  // namespace mc
 }  // namespace locus

@@ -61,6 +61,22 @@ TEST(StatRegistry, SurfacesReconciliationCounters) {
   }
 }
 
+// The formation counters (src/form) are interned when each site's queue is
+// constructed — formation on or off — so the bench JSON and dashboards can
+// rely on every form.* key being present, reading zero on a formation-off
+// run instead of missing.
+TEST(StatRegistry, SurfacesFormationCounters) {
+  System system(2);
+  auto counters = system.stats().counters();
+  for (const char* key :
+       {"form.enqueued", "form.batches", "form.batch_messages", "form.batch_bytes",
+        "form.flushes_size", "form.flushes_deadline", "form.messages_per_txn",
+        "form.log_forces_per_txn"}) {
+    ASSERT_TRUE(counters.count(key)) << key;
+    EXPECT_EQ(counters.at(key), 0) << key;
+  }
+}
+
 // The protocol auditor interns its counters at System construction even when
 // disabled, so audit.checks / audit.violations are always present in the
 // export — a run with the auditor off reads as zero, not as a missing key.
