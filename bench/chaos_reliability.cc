@@ -26,6 +26,10 @@ namespace {
 // --audit runs every scenario with the runtime protocol auditor observing
 // (src/audit); any protocol violation fails the whole run.
 bool g_audit = false;
+// --serial additionally runs the outcome-level serializability certifier
+// (src/serial); any serializability/recoverability/external-consistency/race
+// violation fails the whole run.
+bool g_serial = false;
 
 struct ScenarioResult {
   DebitCreditResults workload;
@@ -33,6 +37,8 @@ struct ScenarioResult {
   int64_t audit_checks = 0;
   int64_t audit_violations = 0;
   std::string audit_summary;
+  int64_t serial_violations = 0;
+  std::string serial_summary;
   // Replicated scenarios only: post-fault replica currency and byte equality.
   bool checked_replicas = false;
   bool replicas_current = true;
@@ -90,7 +96,7 @@ void CheckReplicas(System& system, const DebitCreditConfig& config,
 // replicated and the post-run replica audit is performed.
 ScenarioResult RunScenario(uint64_t seed, std::function<void(Syscalls&)> faults,
                            int replication = 1) {
-  System system(3, SystemOptions{.seed = seed, .audit = g_audit});
+  System system(3, SystemOptions{.seed = seed, .audit = g_audit, .serial = g_serial});
   if (faults) {
     system.Spawn(2, "fault-injector", std::move(faults));
   }
@@ -114,6 +120,12 @@ ScenarioResult RunScenario(uint64_t seed, std::function<void(Syscalls&)> faults,
   if (result.audit_violations > 0) {
     result.audit_summary = system.audit().Summary();
   }
+  if (g_serial) {
+    result.serial_violations = system.serial().Certify();
+    if (result.serial_violations > 0) {
+      result.serial_summary = system.serial().Summary();
+    }
+  }
   return result;
 }
 
@@ -122,7 +134,8 @@ ScenarioResult RunScenario(uint64_t seed, std::function<void(Syscalls&)> faults,
 // (under --audit) the protocol auditor saw no violations.
 bool Healthy(const ScenarioResult& r) {
   return r.workload.audit_complete && r.workload.conserved() && r.blocked == 0 &&
-         r.replicas_current && r.replicas_equal && r.audit_violations == 0;
+         r.replicas_current && r.replicas_equal && r.audit_violations == 0 &&
+         r.serial_violations == 0;
 }
 
 // Total protocol violations across every printed scenario (only meaningful
@@ -130,10 +143,14 @@ bool Healthy(const ScenarioResult& r) {
 int64_t g_violations_seen = 0;
 
 void PrintRow(const char* name, const ScenarioResult& r, JsonReport* report) {
-  g_violations_seen += r.audit_violations;
+  g_violations_seen += r.audit_violations + r.serial_violations;
   if (!r.audit_summary.empty()) {
     fprintf(stderr, "--- protocol violations in '%s' ---\n%s", name,
             r.audit_summary.c_str());
+  }
+  if (!r.serial_summary.empty()) {
+    fprintf(stderr, "--- serializability violations in '%s' ---\n%s", name,
+            r.serial_summary.c_str());
   }
   // "conserved" is only meaningful when every branch was readable by audit
   // time; permanently in-doubt records (the classic 2PC blocking window,
@@ -144,9 +161,10 @@ void PrintRow(const char* name, const ScenarioResult& r, JsonReport* report) {
   const char* replicas = !r.checked_replicas ? "n/a"
                          : (r.replicas_current && r.replicas_equal) ? "yes"
                                                                     : "NO";
-  const char* protocol = !g_audit ? "n/a"
-                         : r.audit_violations == 0 ? "yes"
-                                                   : "NO";
+  const char* protocol = (!g_audit && !g_serial)
+                             ? "n/a"
+                             : (r.audit_violations + r.serial_violations) == 0 ? "yes"
+                                                                               : "NO";
   printf("%-36s %8d %9s %7s %5s %8s %8s\n", name, r.workload.committed,
          conserved, r.workload.audit_complete ? "yes" : "NO",
          r.blocked == 0 ? "yes" : "NO", replicas, protocol);
@@ -242,12 +260,54 @@ bool RunTables(JsonReport* report) {
   if (!ok) {
     fprintf(stderr, "chaos_reliability: replicated-scenario invariants VIOLATED\n");
   }
-  if (g_audit && g_violations_seen > 0) {
-    fprintf(stderr, "chaos_reliability: %lld protocol violations under --audit\n",
+  if ((g_audit || g_serial) && g_violations_seen > 0) {
+    fprintf(stderr, "chaos_reliability: %lld protocol violations under --audit/--serial\n",
             static_cast<long long>(g_violations_seen));
     ok = false;
   }
   return ok;
+}
+
+// Negative control for the CI certifier stage: drives the certifier's own
+// observer hooks with a hand-built write-skew history (two transactions that
+// each read what the other writes, then both commit) — a schedule strict 2PL
+// can never produce. The certifier must flag an rw/rw serialization cycle;
+// the process exits nonzero exactly like a real run with a violation, so CI
+// asserts this command FAILS.
+int RunSerialNegative() {
+  SystemOptions opts;
+  opts.seed = 1;
+  opts.serial = true;
+  System system(2, opts);
+  SerializabilityCertifier& cert = system.serial();
+
+  TxnId t1{.site = 0, .epoch = 1, .serial = 1};
+  TxnId t2{.site = 1, .epoch = 1, .serial = 2};
+  FileId f1{.volume = 0, .ino = 1};
+  FileId f2{.volume = 1, .ino = 1};
+  ByteRange r{0, 8};
+
+  cert.OnTxnBegin(t1);
+  cert.OnTxnBegin(t2);
+  // Each reads the range the other will write (no writers installed yet, so
+  // the reads are clean), then writes its own range.
+  cert.OnServeRead("site0", f2, r, LockOwner{.pid = 1, .txn = t1}, {});
+  cert.OnServeRead("site1", f1, r, LockOwner{.pid = 2, .txn = t2}, {});
+  cert.OnStoreWrite("site0", f1, r, LockOwner{.pid = 1, .txn = t1});
+  cert.OnStoreWrite("site1", f2, r, LockOwner{.pid = 2, .txn = t2});
+  // Both commit: installing t1 adds rw t2->t1, installing t2 adds rw t1->t2,
+  // closing the cycle at t2's commit point.
+  cert.OnCommitPoint("site0", t1, {"site0", "site1"}, 1);
+  cert.OnCommitPoint("site1", t2, {"site0", "site1"}, 1);
+
+  int64_t violations = cert.Certify();
+  bool cycle = cert.CountKind(SerialKind::kCycle) > 0;
+  fprintf(stderr, "serial-negative: %lld violation(s), cycle=%s\n%s",
+          static_cast<long long>(violations), cycle ? "yes" : "no",
+          cert.Summary().c_str());
+  // Detection is the expected outcome; report it as a failing exit status so
+  // the CI stage can assert the certifier actually fires.
+  return cycle ? 1 : 0;
 }
 
 void BM_FaultScenario(benchmark::State& state) {
@@ -262,13 +322,21 @@ BENCHMARK(BM_FaultScenario)->Unit(benchmark::kMillisecond);
 }  // namespace locus
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--audit") {
-      locus::bench::g_audit = true;
+  bool serial_negative = false;
+  for (int i = 1; i < argc;) {
+    std::string arg = argv[i];
+    if (arg == "--audit" || arg == "--serial" || arg == "--serial-negative") {
+      locus::bench::g_audit = locus::bench::g_audit || arg == "--audit";
+      locus::bench::g_serial = locus::bench::g_serial || arg == "--serial";
+      serial_negative = serial_negative || arg == "--serial-negative";
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+    } else {
+      ++i;
     }
+  }
+  if (serial_negative) {
+    return locus::bench::RunSerialNegative();
   }
   std::string json_path = locus::bench::ExtractJsonPath(&argc, argv);
   locus::bench::JsonReport report;

@@ -9,8 +9,11 @@
 #   4. benchmark regression snapshot (scale table) + perf-gate: the fresh
 #      txn_per_s numbers must not regress beyond tolerance against the
 #      checked-in BENCH_scale.json baseline
-#   5. chaos reliability scenarios with the runtime protocol auditor observing
-#      (--audit: any 2PL / 2PC / shadow-page violation fails the run)
+#   5. chaos reliability scenarios with the runtime protocol auditor AND the
+#      outcome-level serializability certifier observing (--audit --serial:
+#      any 2PL / 2PC / shadow-page / serializability / recoverability /
+#      external-consistency / shared-state-race violation fails the run),
+#      plus a negative control that a seeded write-skew cycle fails the run
 #   6. UndefinedBehaviorSanitizer build + full test suite
 #   7. AddressSanitizer build + full test suite
 #
@@ -30,7 +33,7 @@ python3 scripts/lint_locus.py
 FIXTURE_OUT="$(python3 scripts/lint_locus.py scripts/lint_fixture 2>/dev/null)" \
   && { echo "lint_locus.py failed to flag the seeded fixture violations" >&2; exit 1; }
 for rule in nondeterminism "hash-order iteration" "stat counter" "decision point" \
-    "formation bypass"; do
+    "formation bypass" "message type name" "non-exhaustive switch"; do
   if ! grep -q "$rule" <<<"$FIXTURE_OUT"; then
     echo "lint_locus.py no longer detects the seeded '$rule' violation" >&2
     exit 1
@@ -45,6 +48,11 @@ cmake --build build -j "$JOBS"
 echo "=== ctest ==="
 (cd build && ctest --output-on-failure)
 
+# Every mc run below also certifies outcomes: RunScenario enables the
+# serializability certifier (src/serial) and its Certify() sweep is the
+# fourth terminal-state oracle, so any serialization cycle / dirty-read
+# commit / external-consistency break / shared-state race in an explored
+# schedule is a reported violation.
 echo "=== model-checker smoke (schedule + crash-point exploration) ==="
 # Exhaustive DFS over the 2-site scenario with a 2 ms tie-widening window:
 # must visit the whole reduced schedule tree without a violation.
@@ -85,10 +93,19 @@ cat build/BENCH_scale.json
 echo "=== perf-gate (txn_per_s vs checked-in baseline) ==="
 python3 scripts/perf_gate.py BENCH_scale.json build/BENCH_scale.json
 
-echo "=== chaos reliability under the protocol auditor ==="
-./build/bench/chaos_reliability --audit --json=build/BENCH_chaos.json \
+echo "=== chaos reliability under the protocol auditor + certifier ==="
+./build/bench/chaos_reliability --audit --serial --json=build/BENCH_chaos.json \
     --benchmark_filter=NONE
 cat build/BENCH_chaos.json
+# Negative control: the certifier must flag a seeded write-skew serialization
+# cycle (two transactions that each read what the other writes, both commit —
+# a schedule strict 2PL can never emit). The command exits nonzero exactly
+# like a real violating run, so an accidentally-pacified certifier fails CI.
+if ./build/bench/chaos_reliability --serial-negative >/dev/null 2>&1; then
+  echo "certifier failed to flag the seeded write-skew cycle" >&2
+  exit 1
+fi
+echo "certifier negative control: seeded cycle flagged"
 
 echo "=== UBSAN build + full test suite ==="
 cmake -B build-ubsan -S . -DLOCUS_SANITIZE=undefined >/dev/null
@@ -101,8 +118,9 @@ cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure)
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "=== clang-tidy (src/lock, src/txn, src/sim, src/net) ==="
+  echo "=== clang-tidy (lock, txn, sim, net, form, recon, mc, serial) ==="
   clang-tidy -p build src/lock/*.cc src/txn/*.cc src/sim/*.cc src/net/*.cc \
+      src/form/*.cc src/recon/*.cc src/mc/*.cc src/serial/*.cc \
       -- -std=c++20 -I.
 fi
 

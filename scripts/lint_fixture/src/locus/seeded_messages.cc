@@ -1,0 +1,20 @@
+// Seeded rule-6a violation for the lint self-test (never compiled): the
+// MsgType enum declares an enumerator (kSeededOrphanReq) that the
+// MsgTypeName switch below does not name, so Message::As diagnostics would
+// print it as '?'. lint_locus.py must flag a 'message type name' finding.
+
+enum MsgType : int32_t {
+  kSeededPingReq = 1,
+  kSeededPongReq,
+  kSeededOrphanReq,  // No case below: the seeded violation.
+};
+
+const char* MsgTypeName(int32_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case kSeededPingReq:
+      return "seeded-ping-req";
+    case kSeededPongReq:
+      return "seeded-pong-req";
+  }
+  return "?";
+}

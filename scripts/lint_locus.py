@@ -28,7 +28,7 @@ defect are machine-checked here rather than left to review:
    sites carry a `// policy-ok` comment on the line or within the two lines
    above.
 
-5. Formation routing. The 2PC / lock protocol paths in src/locus must send
+5a. Formation routing. The 2PC / lock protocol paths in src/locus must send
    their control messages through the per-site FormationQueue (form().Send /
    form().Call / form().BeginCall), never directly through Network::Send or
    Network::Call — a direct send bypasses message coalescing AND the
@@ -36,6 +36,16 @@ defect are machine-checked here rather than left to review:
    a direct net()/net_ Send/Call sits within two lines of a 2PC/lock message
    type (kPrepareReq, kCommitTxnReq, ...). Suppress a deliberate bypass with
    `// form-ok` on the line or within the two lines above.
+
+6. Exhaustive protocol enumerations. Two forms:
+   a) Every MsgType enumerator must have a `case` in a MsgTypeName switch in
+      the same directory, so Message::As mismatch diagnostics and unhandled-
+      message traces always print a name instead of a raw number.
+   b) A switch over EventTag or ProtocolStep must enumerate every case: a
+      `default:` label silently swallows enumerators added later (the checker
+      then never explores the new event class), and a missing case without a
+      default is already a compiler warning. Checked against the enumerator
+      lists parsed from src/sim/simulation.h.
 
 Usage: scripts/lint_locus.py [path ...]     (default: src/)
 Exits nonzero if any finding is reported.
@@ -99,11 +109,64 @@ FORMATION_MSG_TYPES = re.compile(
     r"\bk(?:Prepare|CommitTxn|AbortTxnAtSite|Lock|Unlock|ReleaseProcess|"
     r"ReleasePrimary|KillProcess)Req\b")
 
+# Rule 6a: the MsgType registry. Enum body capture (no nested braces inside
+# an enum body) and the case labels of a MsgTypeName switch.
+MSGTYPE_ENUM = re.compile(r"enum\s+(?:class\s+)?MsgType\b[^{]*\{(?P<body>[^}]*)\}",
+                          re.S)
+ENUMERATOR = re.compile(r"^\s*(k[A-Za-z0-9_]+)\b")
+CASE_LABEL = re.compile(r"case\s+(?:\w+::)?(k[A-Za-z0-9_]+)\s*:")
+
+# Rule 6b: enums whose switches must be exhaustive, and where their
+# enumerator lists live.
+EXHAUSTIVE_ENUMS = ("EventTag", "ProtocolStep")
+EXHAUSTIVE_ENUM_SOURCE = os.path.join("src", "sim", "simulation.h")
+DEFAULT_LABEL = re.compile(r"\bdefault\s*:")
+
 LINE_COMMENT = re.compile(r"//.*$")
 
 
 def strip_comment(line):
     return LINE_COMMENT.sub("", line)
+
+
+def enum_body_enumerators(body):
+    """Enumerator names from an enum body (one per line, k-prefixed)."""
+    names = []
+    for line in body.splitlines():
+        m = ENUMERATOR.match(strip_comment(line))
+        if m:
+            names.append(m.group(1))
+    return names
+
+
+def parse_enum(text, enum_name):
+    m = re.search(r"enum\s+(?:class\s+)?" + enum_name + r"\b[^{]*\{(?P<body>[^}]*)\}",
+                  text, re.S)
+    return enum_body_enumerators(m.group("body")) if m else []
+
+
+def iter_switches(lines):
+    """(first line number, comment-stripped body text) of each switch."""
+    i = 0
+    while i < len(lines):
+        if re.search(r"\bswitch\s*\(", strip_comment(lines[i])):
+            depth, started, body, j = 0, False, [], i
+            while j < len(lines):
+                code = strip_comment(lines[j])
+                for ch in code:
+                    if ch == "{":
+                        depth += 1
+                        started = True
+                    elif ch == "}":
+                        depth -= 1
+                body.append(code)
+                if started and depth <= 0:
+                    break
+                j += 1
+            yield i + 1, " ".join(body)
+            i = j + 1
+        else:
+            i += 1
 
 
 def unordered_names(text):
@@ -195,6 +258,61 @@ def lint_file(path, rel, root, findings):
                 f"{rel}:{i}: formation bypass: direct Network Send/Call of "
                 f"{m.group(0)} must route through the FormationQueue "
                 f"(form().Send / form().Call); suppress with '// form-ok'")
+
+    # --- 6a. every MsgType enumerator has a registered wire name ---
+    enum_match = MSGTYPE_ENUM.search(text)
+    if enum_match:
+        enum_line = text[:enum_match.start()].count("\n") + 1
+        enumerators = enum_body_enumerators(enum_match.group("body"))
+        cases = set()
+        registry_found = False
+        for sibling in sorted(os.listdir(os.path.dirname(path))):
+            if not sibling.endswith((".h", ".cc", ".cpp")):
+                continue
+            with open(os.path.join(os.path.dirname(path), sibling),
+                      encoding="utf-8", errors="replace") as f:
+                sibling_text = f.read()
+            if "MsgTypeName" not in sibling_text:
+                continue
+            registry_found = True
+            cases |= set(CASE_LABEL.findall(sibling_text))
+        if not registry_found:
+            findings.append(
+                f"{rel}:{enum_line}: message type name: enum MsgType has no "
+                f"MsgTypeName registry in its directory (Message::As "
+                f"diagnostics would print raw numbers)")
+        else:
+            for name in enumerators:
+                if name not in cases:
+                    findings.append(
+                        f"{rel}:{enum_line}: message type name: enumerator "
+                        f"'{name}' has no case in MsgTypeName; Message::As "
+                        f"diagnostics would print it as '?'")
+
+    # --- 6b. EventTag/ProtocolStep switches must be exhaustive ---
+    enum_values = {}
+    source = os.path.join(root, EXHAUSTIVE_ENUM_SOURCE)
+    if os.path.isfile(source):
+        with open(source, encoding="utf-8", errors="replace") as f:
+            source_text = f.read()
+        for enum_name in EXHAUSTIVE_ENUMS:
+            enum_values[enum_name] = parse_enum(source_text, enum_name)
+    for line_no, body in iter_switches(lines):
+        for enum_name in EXHAUSTIVE_ENUMS:
+            if enum_name + "::" not in body:
+                continue
+            if DEFAULT_LABEL.search(body):
+                findings.append(
+                    f"{rel}:{line_no}: non-exhaustive switch: default case "
+                    f"swallows {enum_name} enumerators added later; enumerate "
+                    f"every case explicitly")
+                continue
+            covered = set(CASE_LABEL.findall(body))
+            missing = [v for v in enum_values.get(enum_name, []) if v not in covered]
+            if missing:
+                findings.append(
+                    f"{rel}:{line_no}: non-exhaustive switch: missing "
+                    f"{enum_name} case(s) {', '.join(missing)}")
 
     # --- 3. stat-counter naming ---
     for i, line in enumerate(lines, 1):

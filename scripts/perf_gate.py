@@ -16,6 +16,10 @@ Rules:
     disappearing is itself a regression).
   - New rows absent from the baseline pass (refresh the baseline to pin them).
   - txn_per_s below baseline by more than --tolerance (default 5%) fails.
+  - The REQUIRED_ROWS must be present in BOTH files. They anchor the gate:
+    the certifier-off sites=16 scale row is the overhead reference the
+    serializability certifier (src/serial) is measured against, so neither a
+    pruned baseline nor a filtered fresh run may silently drop it.
 
 Usage: scripts/perf_gate.py <baseline.json> <new.json> [--tolerance=0.05]
 Exits nonzero on any failure.
@@ -23,6 +27,11 @@ Exits nonzero on any failure.
 
 import json
 import sys
+
+# (bench, config) rows that must exist in both baseline and fresh results.
+REQUIRED_ROWS = [
+    ("scale_throughput", "sites=16,tellers=48,local=0.0"),
+]
 
 
 def load(path):
@@ -47,6 +56,11 @@ def main(argv):
 
     failures = []
     checked = 0
+    for key in REQUIRED_ROWS:
+        for name, rows in (("baseline", baseline), ("new results", fresh)):
+            if key not in rows:
+                failures.append(
+                    f"{key[0]} [{key[1]}]: required row missing from {name}")
     for key, base_row in sorted(baseline.items()):
         bench, config = key
         if key not in fresh:

@@ -106,10 +106,10 @@ std::string AuditReport::ToString() const {
 
 ProtocolAuditor::ProtocolAuditor(Simulation* sim, StatRegistry* stats, TraceLog* trace,
                                  bool enabled)
-    : sim_(sim),
+    : ProtocolObserver(enabled),
+      sim_(sim),
       stats_(stats),
       trace_(trace),
-      enabled_(enabled),
       // Interned at construction so counters() reports them even at zero.
       ids_{stats->Intern("audit.checks"), stats->Intern("audit.violations")} {}
 

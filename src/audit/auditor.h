@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/audit/observer.h"
 #include "src/base/ids.h"
 #include "src/fs/intentions.h"
 #include "src/lock/lock_list.h"
@@ -75,12 +76,9 @@ struct AuditReport {
   std::string ToString() const;
 };
 
-class ProtocolAuditor {
+class ProtocolAuditor : public ProtocolObserver {
  public:
   ProtocolAuditor(Simulation* sim, StatRegistry* stats, TraceLog* trace, bool enabled);
-
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool enabled) { enabled_ = enabled; }
 
   const std::vector<AuditReport>& violations() const { return violations_; }
   int64_t violation_count() const { return static_cast<int64_t>(violations_.size()); }
@@ -92,57 +90,57 @@ class ProtocolAuditor {
 
   // ---- Lock-protocol hooks (LockManager at the storage site) ----
   void OnLockGranted(const std::string& site, const FileId& file, const ByteRange& range,
-                     const LockOwner& owner, LockMode mode, bool non_transaction);
-  void OnUnlock(const FileId& file, const ByteRange& range, const LockOwner& owner);
+                     const LockOwner& owner, LockMode mode, bool non_transaction) override;
+  void OnUnlock(const FileId& file, const ByteRange& range, const LockOwner& owner) override;
   // `files` is the set of files with lock lists at the releasing site; only
   // those entries drop — locks the transaction still holds at other storage
   // sites stay in the shadow model.
   void OnTxnLocksReleased(const std::string& site, const TxnId& txn,
-                          const std::vector<FileId>& files);
-  void OnProcessLocksReleased(Pid pid, const std::vector<FileId>& files);
+                          const std::vector<FileId>& files) override;
+  void OnProcessLocksReleased(Pid pid, const std::vector<FileId>& files) override;
   // A site crashed, wiping its volatile lock tables and buffer pool.
   // `volumes` are the volume ids it hosted.
-  void OnSiteCrash(const std::string& site, const std::vector<int32_t>& volumes);
+  void OnSiteCrash(const std::string& site, const std::vector<int32_t>& volumes) override;
   // Requester side: a grant entered a process's lock cache. This is the
   // strict-2PL acquire point — acquiring after the transaction resolved (its
   // first release, i.e. commit or abort) is the audited violation.
   void OnLockAccepted(const std::string& site, const FileId& file, const ByteRange& range,
-                      const LockOwner& owner, LockMode mode);
+                      const LockOwner& owner, LockMode mode) override;
 
   // ---- Transaction lifecycle / 2PC hooks (TransactionManager, kernel) ----
-  void OnTxnBegin(const TxnId& txn);
-  void OnMemberJoined(const TxnId& txn);
-  void OnMemberExited(const TxnId& txn);
-  void OnPrepareRequest(const std::string& site, const TxnId& txn);
-  void OnPrepared(const std::string& site, const TxnId& txn);
+  void OnTxnBegin(const TxnId& txn) override;
+  void OnMemberJoined(const TxnId& txn) override;
+  void OnMemberExited(const TxnId& txn) override;
+  void OnPrepareRequest(const std::string& site, const TxnId& txn) override;
+  void OnPrepared(const std::string& site, const TxnId& txn) override;
   // The commit point: the coordinator's commit mark reached its log
   // (section 4.2's top-level log). `participants` are the storage sites asked
   // to prepare; `active_members` is the coordinator's live member count.
   void OnCommitPoint(const std::string& site, const TxnId& txn,
-                     const std::vector<std::string>& participants, int active_members);
-  void OnAbortDecision(const std::string& site, const TxnId& txn);
-  void OnCommitMessage(const std::string& site, const TxnId& txn);
+                     const std::vector<std::string>& participants, int active_members) override;
+  void OnAbortDecision(const std::string& site, const TxnId& txn) override;
+  void OnCommitMessage(const std::string& site, const TxnId& txn) override;
 
   // ---- Storage hooks (FileStore) ----
   void OnStoreWrite(const std::string& site, const FileId& file, const ByteRange& range,
-                    const LockOwner& writer);
+                    const LockOwner& writer) override;
   // `dirty_of_others`: transactional uncommitted ranges of writers that are
   // not the reader, overlapping the read (computed by the store).
   void OnServeRead(const std::string& site, const FileId& file, const ByteRange& range,
                    const LockOwner& reader,
-                   const std::vector<std::pair<TxnId, ByteRange>>& dirty_of_others);
+                   const std::vector<std::pair<TxnId, ByteRange>>& dirty_of_others) override;
   void OnPrepareFlushed(const std::string& site, const TxnId& txn,
-                        const IntentionsList& intentions);
-  void OnInstall(const std::string& site, const IntentionsList& intentions);
-  void OnDiscard(const std::string& site, const IntentionsList& intentions);
-  void OnAbortWriterEffect(const std::string& site, const FileId& file, const TxnId& txn);
+                        const IntentionsList& intentions) override;
+  void OnInstall(const std::string& site, const IntentionsList& intentions) override;
+  void OnDiscard(const std::string& site, const IntentionsList& intentions) override;
+  void OnAbortWriterEffect(const std::string& site, const FileId& file, const TxnId& txn) override;
   void OnSingleFileCommit(const std::string& site, const FileId& file,
-                          const LockOwner& writer);
+                          const LockOwner& writer) override;
 
   // ---- Buffer-pool immutability hooks ----
-  void OnPoolInsert(const FileId& file, int32_t page_index, const PageData* data);
-  void OnPoolLookup(const FileId& file, int32_t page_index, const PageData* data);
-  void OnPoolForget(const FileId& file, int32_t page_index);
+  void OnPoolInsert(const FileId& file, int32_t page_index, const PageData* data) override;
+  void OnPoolLookup(const FileId& file, int32_t page_index, const PageData* data) override;
+  void OnPoolForget(const FileId& file, int32_t page_index) override;
 
  private:
   // One active (non-retained) entry of the shadow lock model. Retained
@@ -191,7 +189,6 @@ class ProtocolAuditor {
   Simulation* sim_;
   StatRegistry* stats_;
   TraceLog* trace_;
-  bool enabled_;
   int64_t checks_ = 0;
 
   struct Ids {

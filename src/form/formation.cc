@@ -94,6 +94,10 @@ void FormationQueue::Enqueue(SiteId to, FormItem item) {
     return;  // Matches Network::Send: a dead site's messages vanish.
   }
   stats_->Add(enqueued_id_);
+  if (shared_access_hook_) {
+    net_->StampLocalEvent(site_);
+    shared_access_hook_("form.q/" + net_->SiteName(site_), true);
+  }
   DestQueue& q = queues_[to];
   q.bytes += item.msg.size_bytes;
   q.items.push_back(std::move(item));

@@ -23,6 +23,7 @@
 #define SRC_FORM_FORMATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -113,6 +114,14 @@ class FormationQueue {
   // the stranded state PendingSummary exists to catch.
   void TestInjectWithoutTimer(SiteId to, Message msg);
 
+  // Observer seam (src/serial): reports each enqueue as a write access to
+  // this site's queue object for the happens-before race oracle. locus_form
+  // does not link the observer library, so the kernel injects a closure.
+  using SharedAccessHook = std::function<void(const std::string& key, bool is_write)>;
+  void set_shared_access_hook(SharedAccessHook hook) {
+    shared_access_hook_ = std::move(hook);
+  }
+
  private:
   struct DestQueue {
     std::vector<FormItem> items;
@@ -129,6 +138,7 @@ class FormationQueue {
   StatRegistry* stats_;
   SiteId site_;
   Options options_;
+  SharedAccessHook shared_access_hook_;
   std::map<SiteId, DestQueue> queues_;
 
   StatRegistry::StatId enqueued_id_;

@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "src/audit/auditor.h"
+#include "src/audit/observer.h"
 #include "src/base/ids.h"
 #include "src/storage/disk.h"
 
@@ -57,14 +57,14 @@ class BufferPool {
   int64_t misses() const { return misses_; }
 
   // Protocol auditor checksumming cached pages (may be null).
-  void set_auditor(ProtocolAuditor* audit) { audit_ = audit; }
+  void set_auditor(ProtocolObserver* audit) { audit_ = audit; }
 
  private:
   using LruList = std::list<std::pair<Key, PageRef>>;
 
   bool Audited() const { return audit_ != nullptr && audit_->enabled(); }
 
-  ProtocolAuditor* audit_ = nullptr;
+  ProtocolObserver* audit_ = nullptr;
   int32_t capacity_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;

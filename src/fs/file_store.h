@@ -28,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "src/audit/auditor.h"
+#include "src/audit/observer.h"
 #include "src/base/ids.h"
 #include "src/fs/buffer_pool.h"
 #include "src/fs/intentions.h"
@@ -157,8 +157,8 @@ class FileStore {
   // rebuild during recovery.
   static std::vector<PageId> PagesNamedBy(const IntentionsList& intentions);
 
-  // Protocol auditor observing this store's writes and commits (may be null).
-  void set_auditor(ProtocolAuditor* audit) { audit_ = audit; }
+  // Protocol observer (the System hub) watching this store's writes and commits (may be null).
+  void set_auditor(ProtocolObserver* audit) { audit_ = audit; }
 
  private:
   struct Writer {
@@ -212,7 +212,7 @@ class FileStore {
   bool Audited() const { return audit_ != nullptr && audit_->enabled(); }
 
   Simulation* sim_;
-  ProtocolAuditor* audit_ = nullptr;
+  ProtocolObserver* audit_ = nullptr;
   Volume* volume_;
   BufferPool* pool_;
   StatRegistry* stats_;

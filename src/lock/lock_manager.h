@@ -17,7 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/audit/auditor.h"
+#include "src/audit/observer.h"
 #include "src/base/ids.h"
 #include "src/lock/lock_list.h"
 #include "src/sim/stats.h"
@@ -102,8 +102,8 @@ class LockManager {
   // without callbacks (their RPCs fail through the network layer).
   void Clear();
 
-  // Protocol auditor observing this site's lock table (may be null).
-  void set_auditor(ProtocolAuditor* audit) { audit_ = audit; }
+  // Protocol observer (the System hub) watching this site's lock table (may be null).
+  void set_auditor(ProtocolObserver* audit) { audit_ = audit; }
 
  private:
   struct Waiting {
@@ -124,7 +124,7 @@ class LockManager {
   // The FileIds this manager has lock lists for, for audit release hooks.
   std::vector<FileId> FileKeys() const;
 
-  ProtocolAuditor* audit_ = nullptr;
+  ProtocolObserver* audit_ = nullptr;
   TraceLog* trace_;
   StatRegistry* stats_;
   std::string site_name_;

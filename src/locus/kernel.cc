@@ -47,9 +47,10 @@ Kernel::Kernel(System* system, SiteId site)
       locks_(&system->trace(), &system->stats(), system->net().SiteName(site)),
       txns_(&system->sim(), site),
       pool_(system->options().pool_pages) {
-  locks_.set_auditor(&system->audit());
-  txns_.set_auditor(&system->audit());
-  pool_.set_auditor(&system->audit());
+  RegisterMessageNames();
+  locks_.set_auditor(&system->observers());
+  txns_.set_auditor(&system->observers());
+  pool_.set_auditor(&system->observers());
 }
 
 Simulation& Kernel::sim() { return system_->sim(); }
@@ -77,7 +78,7 @@ void Kernel::AttachVolume(std::unique_ptr<Volume> volume) {
   volumes_.push_back(std::move(volume));
   stores_[raw->id()] = std::make_unique<FileStore>(&sim(), raw, &pool_, &stats(), &trace(),
                                                    net().SiteName(site_));
-  stores_[raw->id()]->set_auditor(&system_->audit());
+  stores_[raw->id()]->set_auditor(&system_->observers());
 }
 
 Volume* Kernel::FindVolume(VolumeId id) {
@@ -151,6 +152,11 @@ void Kernel::Start() {
   form_opts.max_batch_bytes = system_->options().formation_max_batch_bytes;
   form_ = std::make_unique<FormationQueue>(&net(), &stats(), site_, form_opts);
   form_->Start();
+  if (system_->observers().enabled()) {
+    form_->set_shared_access_hook([this](const std::string& key, bool is_write) {
+      system_->observers().OnSharedAccess(net().SiteName(site_), key, is_write);
+    });
+  }
 
   ReintegrationManager::Env env;
   env.site = site_;
@@ -337,8 +343,8 @@ ReadReply Kernel::ServeRead(const ReadRequest& req) {
   if (req.owner.txn.valid() && locally_aborted_.count(req.owner.txn) != 0) {
     return ReadReply{Err::kAborted, {}};
   }
-  if (system_->audit().enabled()) {
-    system_->audit().OnServeRead(
+  if (system_->observers().enabled()) {
+    system_->observers().OnServeRead(
         net().SiteName(site_), req.file, req.range, req.owner,
         store->TransactionalDirtyOfOthers(req.file, req.range, req.owner));
   }
@@ -463,8 +469,8 @@ void Kernel::MaybeReleasePrimary(const FileId& file) {
 
 Err Kernel::ServePrepare(const PrepareRequest& req) {
   LockOwner owner{kNoPid, req.txn};
-  if (system_->audit().enabled()) {
-    system_->audit().OnPrepareRequest(net().SiteName(site_), req.txn);
+  if (system_->observers().enabled()) {
+    system_->observers().OnPrepareRequest(net().SiteName(site_), req.txn);
   }
   if (locally_aborted_.count(req.txn) != 0) {
     return Err::kAborted;  // The topology protocol aborted it here already.
@@ -513,15 +519,15 @@ Err Kernel::ServePrepare(const PrepareRequest& req) {
   }
   MaybeCrashAt(ProtocolStep::kAfterPrepareLog);
   Trace("prepared %s (%zu files)", ToString(req.txn).c_str(), req.files.size());
-  if (system_->audit().enabled()) {
-    system_->audit().OnPrepared(net().SiteName(site_), req.txn);
+  if (system_->observers().enabled()) {
+    system_->observers().OnPrepared(net().SiteName(site_), req.txn);
   }
   return Err::kOk;
 }
 
 void Kernel::ServeCommitTxn(const TxnId& txn) {
-  if (system_->audit().enabled()) {
-    system_->audit().OnCommitMessage(net().SiteName(site_), txn);
+  if (system_->observers().enabled()) {
+    system_->observers().OnCommitMessage(net().SiteName(site_), txn);
   }
   if (!txn_resolution_in_progress_.insert(txn).second) {
     return;  // A duplicate message raced an in-flight resolution.
@@ -632,6 +638,18 @@ void Kernel::ServeReleaseProcess(Pid pid) {
 }
 
 void Kernel::ServeReplicaPropagate(const ReplicaPropagateMsg& msg) {
+  if (system_->observers().enabled()) {
+    std::optional<std::string> path = catalog().PathOf(msg.replica_file);
+    if (path.has_value()) {
+      // Each replica's version stamp is its own state object (sibling
+      // replicas apply the primary's propagations independently), so the key
+      // carries the owning site. The race oracle then verifies no *other*
+      // site ever touches this stamp without a message chain ordering it.
+      net().StampLocalEvent(site_);
+      system_->observers().OnSharedAccess(
+          net().SiteName(site_), "recon.ver@" + net().SiteName(site_) + *path, true);
+    }
+  }
   // The version gate (duplicate drop / gap quarantine) and the shadow-page
   // apply live in the reintegration manager.
   recon_->ApplyPropagation(msg);
@@ -650,6 +668,11 @@ void Kernel::PropagateReplicas(const FileId& primary, const IntentionsList& inte
     return;
   }
   FileStore* store = StoreFor(primary.volume);
+  if (system_->observers().enabled()) {
+    net().StampLocalEvent(site_);
+    system_->observers().OnSharedAccess(
+        net().SiteName(site_), "recon.ver@" + net().SiteName(site_) + *path, true);
+  }
   ReplicaPropagateMsg base;
   base.new_size = store->CommittedSize(primary);
   // Stamp the primary's post-install ordinal: the replica-side gate applies

@@ -99,6 +99,13 @@ Err Kernel::SysCreat(OsProcess* p, const std::string& path, int replication,
     }
     return Err::kExists;
   }
+  if (system_->observers().enabled()) {
+    // Cluster-shared catalog mutation outside the transaction mechanism:
+    // feed the happens-before race oracle.
+    net().StampLocalEvent(site_);
+    system_->observers().OnSharedAccess(net().SiteName(site_), "catalog.entry" + path,
+                                        true);
+  }
   return Err::kOk;
 }
 
@@ -113,6 +120,11 @@ Err Kernel::SysUnlink(OsProcess* p, const std::string& path) {
   std::vector<Replica> replicas = entry->replicas;
   if (!catalog().Remove(path)) {
     return Err::kNoEnt;
+  }
+  if (system_->observers().enabled()) {
+    net().StampLocalEvent(site_);
+    system_->observers().OnSharedAccess(net().SiteName(site_), "catalog.entry" + path,
+                                        true);
   }
   for (const Replica& r : replicas) {
     if (IsLocal(r.site)) {
@@ -551,10 +563,10 @@ Result<ByteRange> Kernel::RequestLock(OsProcess* p, Channel& ch, LockRequest req
     ch.prefetch_offset = reply.granted.start;
     ch.prefetch_txn = req.owner.txn;
   }
-  if (system_->audit().enabled()) {
+  if (system_->observers().enabled()) {
     // The strict-2PL acquire point: the requester accepted the grant into its
     // cache (stale grants were undone above and never reach here).
-    system_->audit().OnLockAccepted(net().SiteName(site_), ch.file, reply.granted,
+    system_->observers().OnLockAccepted(net().SiteName(site_), ch.file, reply.granted,
                                     req.owner, req.mode);
   }
   stats().Add("sys.locks_granted");

@@ -149,8 +149,9 @@ Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
   if (record->files.empty()) {
     // Nothing used: trivial commit, no logs (the common nested-composition
     // case where an inner call did all the work of a larger transaction).
-    if (system_->audit().enabled()) {
-      system_->audit().OnCommitPoint(net().SiteName(site_), txn, {},
+    if (system_->observers().enabled()) {
+      net().StampLocalEvent(site_);
+      system_->observers().OnCommitPoint(net().SiteName(site_), txn, {},
                                      record->active_members);
     }
     txns_.Erase(txn);
@@ -291,12 +292,13 @@ Err Kernel::RunTwoPhaseCommit(OsProcess* p, TxnRecord* record) {
   root->UpdateLog(log_id, coord, "commit_mark");
   record->commit_marking = false;
   MaybeCrashAt(ProtocolStep::kAfterCommitMark);
-  if (system_->audit().enabled()) {
+  if (system_->observers().enabled()) {
+    net().StampLocalEvent(site_);
     std::vector<std::string> participant_names;
     for (SiteId s : participants) {
       participant_names.push_back(net().SiteName(s));
     }
-    system_->audit().OnCommitPoint(net().SiteName(site_), txn, participant_names,
+    system_->observers().OnCommitPoint(net().SiteName(site_), txn, participant_names,
                                    record->active_members);
   }
   stats().Add("txn.committed");
@@ -316,11 +318,12 @@ void Kernel::SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants,
   if (!phase2_active_.insert(txn).second) {
     return;  // A driver for this transaction is already running here.
   }
-  if (system_->audit().enabled()) {
+  if (system_->observers().enabled()) {
     // Recovery and topology-change re-drives reach here without passing the
     // commit-mark hook (the mark is already durable); re-declare the
     // decision. Idempotent for the normal path.
-    system_->audit().OnCommitPoint(net().SiteName(site_), txn, {}, 1);
+    net().StampLocalEvent(site_);
+    system_->observers().OnCommitPoint(net().SiteName(site_), txn, {}, 1);
   }
   SpawnKernelProcess("phase2", [this, txn, participants, log_id] {
     std::vector<SiteId> remaining = participants;
@@ -383,8 +386,8 @@ void Kernel::SpawnPhaseTwo(const TxnId& txn, std::vector<SiteId> participants,
 void Kernel::AbortDuringCommit(TxnRecord* record, uint64_t coord_log_id,
                                const std::vector<SiteId>& participants) {
   const TxnId txn = record->id;
-  if (system_->audit().enabled()) {
-    system_->audit().OnAbortDecision(net().SiteName(site_), txn);
+  if (system_->observers().enabled()) {
+    system_->observers().OnAbortDecision(net().SiteName(site_), txn);
   }
   Volume* root = volumes_[0].get();
   CoordinatorLogRecord coord{txn, TxnStatus::kAborted, record->files};
@@ -429,8 +432,8 @@ void Kernel::AbortTransactionLocal(const TxnId& txn, const std::string& reason) 
     txns_.WakeBarrier(txn);
     return;
   }
-  if (system_->audit().enabled()) {
-    system_->audit().OnAbortDecision(net().SiteName(site_), txn);
+  if (system_->observers().enabled()) {
+    system_->observers().OnAbortDecision(net().SiteName(site_), txn);
   }
 
   std::vector<UsedFile> files = record->files;
@@ -825,12 +828,12 @@ void Kernel::OnCrash() {
     }
   }
   kernel_procs_.clear();
-  if (system_->audit().enabled()) {
+  if (system_->observers().enabled()) {
     std::vector<int32_t> volume_ids;
     for (const auto& v : volumes_) {
       volume_ids.push_back(v->id());
     }
-    system_->audit().OnSiteCrash(net().SiteName(site_), volume_ids);
+    system_->observers().OnSiteCrash(net().SiteName(site_), volume_ids);
   }
   locks_.Clear();
   txns_.Clear();
@@ -924,8 +927,8 @@ void Kernel::OnReboot() {
         SpawnPhaseTwo(coord.txn, participants, log_id);
       } else {
         Trace("recovery: aborting %s", ToString(coord.txn).c_str());
-        if (system_->audit().enabled()) {
-          system_->audit().OnAbortDecision(net().SiteName(site_), coord.txn);
+        if (system_->observers().enabled()) {
+          system_->observers().OnAbortDecision(net().SiteName(site_), coord.txn);
         }
         for (SiteId s : participants) {
           if (IsLocal(s)) {

@@ -223,6 +223,13 @@ struct TxnStatusReply {
   int status = 0;  // Cast of TxnStatus; kAborted when no log exists.
 };
 
+// Stable wire name of a MsgType ("commit-txn-req"); "?" for unknown values.
+// Defined in messages.cc; rule 6 of lint_locus.py keeps it exhaustive.
+const char* MsgTypeName(int32_t type);
+// Installs MsgTypeName as the network layer's message-type namer
+// (idempotent; every Kernel construction calls it).
+void RegisterMessageNames();
+
 }  // namespace locus
 
 #endif  // SRC_LOCUS_MESSAGES_H_

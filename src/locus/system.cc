@@ -24,14 +24,31 @@ bool AuditEnabled(const SystemOptions& options) {
   return options.audit;
 #endif
 }
+
+bool SerialEnabled(const SystemOptions& options) {
+#ifdef LOCUS_SERIAL_FORCE
+  (void)options;
+  return true;
+#else
+  return options.serial;
+#endif
+}
 }  // namespace
 
 System::System(int num_sites, SystemOptions options)
     : options_(options),
       sim_(options.seed),
       net_(&sim_, &trace_),
-      audit_(&sim_, &stats_, &trace_, AuditEnabled(options)) {
+      audit_(&sim_, &stats_, &trace_, AuditEnabled(options)),
+      serial_(&sim_, &net_, &stats_, &trace_, SerialEnabled(options)) {
   trace_.set_enabled(true);
+  observers_.Register(&audit_);
+  observers_.Register(&serial_);
+  if (serial_.enabled()) {
+    // The certifier's external-consistency and race checks ride on the
+    // network's vector clocks (observer metadata; bit-identity-safe).
+    net_.EnableClocks();
+  }
   for (int i = 0; i < num_sites; ++i) {
     SiteId site = net_.AddSite("site" + std::to_string(i));
     auto kernel = std::make_unique<Kernel>(this, site);

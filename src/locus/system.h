@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "src/audit/auditor.h"
+#include "src/audit/observer.h"
 #include "src/fs/catalog.h"
 #include "src/locus/kernel.h"
 #include "src/net/network.h"
+#include "src/serial/certifier.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -51,6 +53,12 @@ struct SystemOptions {
   // shadow-page isolation, and 2PC message order while the cluster runs.
   // Forced on when the build defines LOCUS_AUDIT_FORCE (cmake -DLOCUS_AUDIT=ON).
   bool audit = false;
+  // Outcome-level serializability certifier (src/serial): certifies the
+  // committed schedule (conflict-graph acyclicity, recoverability, external
+  // consistency) and runs the shared-state happens-before race detector.
+  // Enables the network's vector clocks. Forced on when the build defines
+  // LOCUS_SERIAL_FORCE (cmake -DLOCUS_SERIAL=ON).
+  bool serial = false;
   // Test seam: disables the commit_marking guard in AbortTransactionLocal,
   // reintroducing the PR 3 abort-during-commit-mark race so the model checker
   // (src/mc) can prove it rediscovers the bug. Never set outside tests.
@@ -68,6 +76,8 @@ class System {
   StatRegistry& stats() { return stats_; }
   TraceLog& trace() { return trace_; }
   ProtocolAuditor& audit() { return audit_; }
+  SerializabilityCertifier& serial() { return serial_; }
+  ObserverHub& observers() { return observers_; }
   Kernel& kernel(SiteId site) { return *kernels_[site]; }
   int site_count() const { return static_cast<int>(kernels_.size()); }
   const SystemOptions& options() const { return options_; }
@@ -110,6 +120,8 @@ class System {
   StatRegistry stats_;
   Network net_;
   ProtocolAuditor audit_;
+  SerializabilityCertifier serial_;
+  ObserverHub observers_;
   Catalog catalog_;
   std::vector<std::unique_ptr<Kernel>> kernels_;
   VolumeId next_volume_id_ = 0;

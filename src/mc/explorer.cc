@@ -14,9 +14,15 @@ bool IsNetworkEvent(const EventInfo& info) {
     case EventTag::kRpcTimeout:
     case EventTag::kTopology:
       return true;
-    default:
+    case EventTag::kGeneric:
+    case EventTag::kWakeup:
+    case EventTag::kSleepDone:
+    // Flush deadlines branch at their own IsNetworkTag consultation in the
+    // engine; the DFS frontier treats them as internal here.
+    case EventTag::kFormFlush:
       return false;
   }
+  return false;
 }
 
 int32_t ActorSite(const EventInfo& info) {
@@ -29,9 +35,13 @@ int32_t ActorSite(const EventInfo& info) {
       return info.a;
     case EventTag::kTopology:
       return info.a;
-    default:
+    case EventTag::kGeneric:
+    case EventTag::kWakeup:
+    case EventTag::kSleepDone:
+    case EventTag::kFormFlush:
       return -1;
   }
+  return -1;
 }
 
 // Candidates for one tie. The search space is the message-passing model

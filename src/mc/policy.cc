@@ -56,9 +56,12 @@ int32_t PctChooser::ActorSite(const EventInfo& info) {
       return info.a;  // Flush runs at the batching (sender) site.
     case EventTag::kTopology:
       return info.a;
-    default:
+    case EventTag::kGeneric:
+    case EventTag::kWakeup:
+    case EventTag::kSleepDone:
       return -1;
   }
+  return -1;
 }
 
 size_t PctChooser::operator()(size_t index, const std::vector<EventInfo>& options) {

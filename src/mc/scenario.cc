@@ -140,6 +140,7 @@ RunResult RunScenario(const ScenarioConfig& cfg, GuidedPolicy* policy) {
   SystemOptions opts;
   opts.seed = cfg.seed;
   opts.audit = true;
+  opts.serial = true;
   opts.test_disable_commit_marking_guard = cfg.disable_commit_guard;
   opts.formation = cfg.formation;
   if (cfg.disk_latency_us > 0) {
@@ -259,6 +260,13 @@ RunResult RunScenario(const ScenarioConfig& cfg, GuidedPolicy* policy) {
   if (!result.audit_clean) {
     result.audit_summary = system.audit().Summary();
   }
+  // Terminal sweep: catches serialization cycles closed by edges recorded
+  // after the participants' commit points.
+  result.serial_violations = system.serial().Certify();
+  result.serial_clean = result.serial_violations == 0;
+  if (!result.serial_clean) {
+    result.serial_summary = system.serial().Summary();
+  }
   for (TransferOutcome o : result.outcomes) {
     result.committed += o == TransferOutcome::kCommitted;
     result.aborted += o == TransferOutcome::kAborted;
@@ -310,6 +318,9 @@ RunResult RunScenario(const ScenarioConfig& cfg, GuidedPolicy* policy) {
   if (!result.audit_clean) {
     result.violation = AuditKindName(system.audit().violations()[0].kind);
     result.violation_detail = system.audit().violations()[0].ToString();
+  } else if (!result.serial_clean) {
+    result.violation = SerialKindName(system.serial().violations()[0].kind);
+    result.violation_detail = system.serial().violations()[0].ToString();
   } else if (!result.read_complete) {
     result.violation = "unreadable";
     result.violation_detail = read_failure.empty()
@@ -337,6 +348,7 @@ RunResult RunScenario(const ScenarioConfig& cfg, GuidedPolicy* policy) {
     digest.Mix(static_cast<uint64_t>(o));
   }
   digest.Mix(static_cast<uint64_t>(result.audit_violations));
+  digest.Mix(static_cast<uint64_t>(result.serial_violations));
   digest.Mix(result.violation);
   char hex[17];
   snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(digest.h));

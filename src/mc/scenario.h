@@ -69,15 +69,18 @@ struct TransferPlan {
 struct RunResult {
   // Oracle verdicts.
   bool audit_clean = false;
+  bool serial_clean = false;   // Outcome certifier (src/serial): no violations.
   bool conserved = false;
   bool atomic = false;       // Includes durability of reported commits.
   bool drained_clean = false;  // No blocked processes at final drain.
   bool read_complete = false;  // Every account was readable at the end.
   bool ok() const {
-    return audit_clean && conserved && atomic && drained_clean && read_complete;
+    return audit_clean && serial_clean && conserved && atomic && drained_clean &&
+           read_complete;
   }
   // First failed invariant as a stable name ("" when ok): an AuditKindName,
-  // or "conservation" / "atomicity" / "blocked" / "unreadable".
+  // a SerialKindName, or "conservation" / "atomicity" / "blocked" /
+  // "unreadable".
   std::string violation;
   std::string violation_detail;
 
@@ -93,6 +96,8 @@ struct RunResult {
   std::vector<TransferOutcome> outcomes;
   int64_t audit_violations = 0;
   std::string audit_summary;
+  int64_t serial_violations = 0;
+  std::string serial_summary;
 };
 
 // The deterministic transfer plan for a config (exposed for tests/reporting).

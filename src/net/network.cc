@@ -5,6 +5,17 @@
 
 namespace locus {
 
+namespace {
+// The registered protocol-level namer (see RegisterMessageTypeNamer).
+MessageTypeNamer g_message_type_namer = nullptr;
+}  // namespace
+
+void RegisterMessageTypeNamer(MessageTypeNamer namer) { g_message_type_namer = namer; }
+
+const char* MessageTypeName(int32_t type) {
+  return g_message_type_namer != nullptr ? g_message_type_namer(type) : "?";
+}
+
 void Responder::operator()(Message reply) const {
   if (net_ == nullptr) {
     return;
@@ -17,6 +28,10 @@ void Responder::operator()(Message reply) const {
   // The reply travels back over the wire from the responder's site.
   if (!net_->Reachable(site_, call.from)) {
     return;  // Reply lost; the caller's timeout / failure detection fires.
+  }
+  if (net_->clocks_enabled_ && site_ != kNoSite) {
+    net_->Tick(site_);
+    reply.vclock = net_->sites_[site_].clock;
   }
   if (site_ != kNoSite && net_->sites_[site_].reply_router) {
     // Formation is on at the responding site: the reply rides a batch
@@ -81,6 +96,10 @@ void Network::Send(SiteId from, SiteId to, Message msg) {
     return;
   }
   stats_.Add(messages_id_);
+  if (clocks_enabled_) {
+    Tick(from);
+    msg.vclock = sites_[from].clock;
+  }
   EventInfo info{EventTag::kNetDeliver, from, to, msg.type};
   sim_->Schedule(OneWayLatency(msg.size_bytes), info,
                  [this, from, to, msg = std::move(msg)]() mutable {
@@ -103,6 +122,10 @@ RpcResult Network::Call(SiteId from, SiteId to, Message request, SimTime timeout
   call.wake = std::make_unique<WaitQueue>(sim_);
 
   stats_.Add(messages_id_);
+  if (clocks_enabled_) {
+    Tick(from);
+    request.vclock = sites_[from].clock;
+  }
   Responder responder(this, id, to);
   EventInfo deliver_info{EventTag::kNetDeliver, from, to, request.type};
   sim_->Schedule(OneWayLatency(request.size_bytes), deliver_info,
@@ -132,6 +155,10 @@ void Network::Deliver(SiteId from, SiteId to, Message msg, Responder responder) 
 
 void Network::DispatchDelivered(SiteId from, SiteId to, const Message& msg,
                                 Responder responder) {
+  if (clocks_enabled_ && !msg.vclock.empty()) {
+    MergeClock(to, msg.vclock);
+    Tick(to);
+  }
   Site& dest = sites_[to];
   if (static_cast<size_t>(msg.type) >= dest.handlers.size() || !dest.handlers[msg.type]) {
     stats_.Add("net.unhandled");
@@ -192,6 +219,10 @@ void Network::CompleteCall(uint64_t call_id, RpcResult result) {
   PendingCall& call = it->second;
   call.done = true;
   call.result = std::move(result);
+  if (clocks_enabled_ && call.result.ok && !call.result.reply.vclock.empty()) {
+    MergeClock(call.from, call.result.reply.vclock);
+    Tick(call.from);
+  }
   call.wake->NotifyAll();
 }
 
@@ -277,6 +308,30 @@ void Network::FailUnreachableCalls() {
 
 void Network::OnTopologyChange(SiteId site, std::function<void()> callback) {
   sites_[site].topology_callbacks.push_back(std::move(callback));
+}
+
+void Network::StampLocalEvent(SiteId site) {
+  if (clocks_enabled_ && site >= 0 && static_cast<size_t>(site) < sites_.size()) {
+    Tick(site);
+  }
+}
+
+void Network::Tick(SiteId site) {
+  std::vector<uint32_t>& clock = sites_[site].clock;
+  if (clock.size() < sites_.size()) {
+    clock.resize(sites_.size(), 0);
+  }
+  ++clock[site];
+}
+
+void Network::MergeClock(SiteId site, const std::vector<uint32_t>& other) {
+  std::vector<uint32_t>& clock = sites_[site].clock;
+  if (clock.size() < other.size()) {
+    clock.resize(other.size(), 0);
+  }
+  for (size_t i = 0; i < other.size(); ++i) {
+    clock[i] = std::max(clock[i], other[i]);
+  }
 }
 
 }  // namespace locus

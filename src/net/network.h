@@ -36,12 +36,24 @@ namespace locus {
 using SiteId = int32_t;
 inline constexpr SiteId kNoSite = -1;
 
+// Registry of the one protocol-level message-type namer (src/locus registers
+// MsgTypeName). Message::As and trace diagnostics print the registered name
+// next to the raw type number; unregistered types print as "?".
+using MessageTypeNamer = const char* (*)(int32_t type);
+void RegisterMessageTypeNamer(MessageTypeNamer namer);
+const char* MessageTypeName(int32_t type);
+
 // A network message. Payloads are typed structs carried through std::any;
 // size_bytes models the wire footprint for latency purposes.
 struct Message {
   int32_t type = 0;
   int32_t size_bytes = 64;
   std::any payload;
+  // Sender's vector clock at send time (src/serial's happens-before order).
+  // Pure observer metadata: empty unless Network::EnableClocks() ran, never
+  // read by protocol code, and excluded from size_bytes, so enabling clocks
+  // cannot change virtual-time results.
+  std::vector<uint32_t> vclock;
 
   // Checked payload access: a payload/type mismatch is a protocol bug (a
   // handler registered for the wrong message type, or a reply built with the
@@ -51,9 +63,9 @@ struct Message {
     const T* typed = std::any_cast<T>(&payload);
     if (typed == nullptr) {
       fprintf(stderr,
-              "Message::As: payload type mismatch on message type %d: expected %s, "
+              "Message::As: payload type mismatch on message type %d (%s): expected %s, "
               "actual %s\n",
-              type, typeid(T).name(),
+              type, MessageTypeName(type), typeid(T).name(),
               payload.has_value() ? payload.type().name() : "(empty)");
       abort();
     }
@@ -160,6 +172,21 @@ class Network {
   // set changes while `site` is alive.
   void OnTopologyChange(SiteId site, std::function<void()> callback);
 
+  // --- Vector clocks (src/serial's happens-before order) ---
+  // When enabled, every send ticks the sender's clock and stamps it on the
+  // message, and every delivery / reply completion merges the carried clock
+  // into the receiver's. The clocks are observer metadata only: nothing in
+  // the protocol reads them, so enabling them is bit-identity-safe.
+  void EnableClocks() { clocks_enabled_ = true; }
+  bool clocks_enabled() const { return clocks_enabled_; }
+  // Ticks `site`'s clock for a locally significant event (a transaction's
+  // commit point, a shared-state write). No-op while clocks are disabled.
+  void StampLocalEvent(SiteId site);
+  // Current clock of `site`; empty until the site's first clocked event.
+  const std::vector<uint32_t>& SiteClock(SiteId site) const {
+    return sites_[site].clock;
+  }
+
   SimTime OneWayLatency(int32_t size_bytes) const;
 
   StatRegistry& stats() { return stats_; }
@@ -178,6 +205,9 @@ class Network {
     std::vector<Handler> handlers;
     std::vector<std::function<void()>> topology_callbacks;
     ReplyRouter reply_router;
+    // Vector clock, lazily sized to the cluster; empty until the first
+    // clocked event at this site.
+    std::vector<uint32_t> clock;
   };
 
   struct PendingCall {
@@ -194,6 +224,9 @@ class Network {
   void NotifyTopologyChanged();
   // Fails outstanding calls whose endpoints can no longer communicate.
   void FailUnreachableCalls();
+  // Clock primitives; callers gate on clocks_enabled_.
+  void Tick(SiteId site);
+  void MergeClock(SiteId site, const std::vector<uint32_t>& other);
 
   Simulation* sim_;
   TraceLog* trace_;
@@ -202,6 +235,7 @@ class Network {
   std::vector<Site> sites_;
   uint64_t next_call_id_ = 1;
   std::unordered_map<uint64_t, PendingCall> pending_calls_;
+  bool clocks_enabled_ = false;
 };
 
 }  // namespace locus

@@ -284,7 +284,7 @@ void ReintegrationManager::OnTopologyChange() {
     return;
   }
   std::vector<std::string> paths = env_.catalog->StaleReplicaPathsAt(env_.site);
-  std::erase_if(paths, [this](const std::string& p) { return reconciling_.count(p) != 0; });
+  std::erase_if(paths, [this](const std::string& p) { return reconciling_.contains(p); });
   if (paths.empty()) {
     return;
   }
@@ -298,7 +298,7 @@ void ReintegrationManager::OnTopologyChange() {
 void ReintegrationManager::OnCrash() { reconciling_.clear(); }
 
 void ReintegrationManager::SpawnReconcile(const std::string& path) {
-  if (reconciling_.count(path) != 0) {
+  if (reconciling_.contains(path)) {
     return;
   }
   env_.spawn("reintegrate", [this, path] { ReconcileFile(path); });

@@ -336,9 +336,12 @@ bool IsNetworkTag(EventTag tag) {
     // the checker reorder it against network events explores both sides.
     case EventTag::kFormFlush:
       return true;
-    default:
+    case EventTag::kGeneric:
+    case EventTag::kWakeup:
+    case EventTag::kSleepDone:
       return false;
   }
+  return false;
 }
 
 }  // namespace

@@ -9,7 +9,7 @@
 #include <memory>
 #include <vector>
 
-#include "src/audit/auditor.h"
+#include "src/audit/observer.h"
 #include "src/sim/simulation.h"
 #include "src/txn/txn_types.h"
 
@@ -47,13 +47,13 @@ class TransactionManager {
   void Clear();
   void set_boot_epoch(uint32_t epoch) { boot_epoch_ = epoch; }
 
-  // Protocol auditor observing transaction lifecycle events (may be null).
-  void set_auditor(ProtocolAuditor* audit) { audit_ = audit; }
+  // Protocol observer (the System hub) watching transaction lifecycle events (may be null).
+  void set_auditor(ProtocolObserver* audit) { audit_ = audit; }
 
  private:
   bool Audited() const { return audit_ != nullptr && audit_->enabled(); }
 
-  ProtocolAuditor* audit_ = nullptr;
+  ProtocolObserver* audit_ = nullptr;
   Simulation* sim_;
   SiteId site_;
   uint32_t boot_epoch_ = 0;

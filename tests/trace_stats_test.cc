@@ -77,6 +77,20 @@ TEST(StatRegistry, SurfacesFormationCounters) {
   }
 }
 
+// The serializability certifier (src/serial) interns its counters at System
+// construction — certifier on or off — so serial.* keys are always present
+// in the export, reading zero on an uncertified run instead of missing.
+TEST(StatRegistry, SurfacesSerialCounters) {
+  System system(2);
+  auto counters = system.stats().counters();
+  for (const char* key :
+       {"serial.txns_certified", "serial.edges", "serial.cycles",
+        "serial.checks", "serial.violations"}) {
+    ASSERT_TRUE(counters.count(key)) << key;
+    EXPECT_EQ(counters.at(key), 0) << key;
+  }
+}
+
 // The protocol auditor interns its counters at System construction even when
 // disabled, so audit.checks / audit.violations are always present in the
 // export — a run with the auditor off reads as zero, not as a missing key.
