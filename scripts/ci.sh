@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate, in dependency order of cheapness:
-#   1. determinism lint (scripts/lint_locus.py) — and a self-test that the
-#      linter still detects every violation class seeded in scripts/lint_fixture
-#   2. RelWithDebInfo build + full test suite
+#   1. structural analyzer (scripts/locus_analyze: lexer/CFG/call-graph lint,
+#      observer-hook coverage, obligation pairing) — and a self-test that it
+#      still detects every violation class seeded in scripts/lint_fixture
+#   2. RelWithDebInfo build (-Werror) + full test suite
 #   3. model-checker smoke: exhaustive 2-site DFS, fixed-seed PCT batch, and
 #      full crash-point enumeration of a 3-site commit (src/mc), plus a
 #      negative control that rediscovers + replays the seeded PR 3 race
@@ -28,21 +29,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== determinism lint ==="
-python3 scripts/lint_locus.py
-FIXTURE_OUT="$(python3 scripts/lint_locus.py scripts/lint_fixture 2>/dev/null)" \
-  && { echo "lint_locus.py failed to flag the seeded fixture violations" >&2; exit 1; }
+echo "=== structural analyzer ==="
+# The 10 s timeout is the wall-time budget: the analyzer runs on every push,
+# so a quadratic blowup in the CFG/call-graph layers should fail loudly here
+# rather than quietly stretch CI.
+timeout 10 python3 scripts/locus_analyze
+FIXTURE_OUT="$(timeout 10 python3 scripts/locus_analyze scripts/lint_fixture 2>/dev/null)" \
+  && { echo "locus_analyze failed to flag the seeded fixture violations" >&2; exit 1; }
 for rule in nondeterminism "hash-order iteration" "stat counter" "decision point" \
-    "formation bypass" "message type name" "non-exhaustive switch"; do
+    "formation bypass" "message type name" "non-exhaustive switch" \
+    "hook coverage" "obligation pairing" "bare suppression"; do
   if ! grep -q "$rule" <<<"$FIXTURE_OUT"; then
-    echo "lint_locus.py no longer detects the seeded '$rule' violation" >&2
+    echo "locus_analyze no longer detects the seeded '$rule' violation" >&2
     exit 1
   fi
 done
-echo "lint fixture self-test: all seeded violation classes detected"
+echo "analyzer fixture self-test: all seeded violation classes detected"
 
-echo "=== build (RelWithDebInfo) ==="
-cmake -B build -S . >/dev/null
+echo "=== build (RelWithDebInfo, -Werror) ==="
+cmake -B build -S . -DLOCUS_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 
 echo "=== ctest ==="
@@ -122,6 +127,8 @@ if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p build src/lock/*.cc src/txn/*.cc src/sim/*.cc src/net/*.cc \
       src/form/*.cc src/recon/*.cc src/mc/*.cc src/serial/*.cc \
       -- -std=c++20 -I.
+else
+  echo "SKIPPED: clang-tidy not installed"
 fi
 
 echo "=== ci.sh: all green ==="

@@ -1,5 +1,5 @@
 // Seeded lint-failure fixture: every block below violates one rule that
-// scripts/lint_locus.py enforces. This file is NOT compiled — it exists so CI
+// scripts/locus_analyze enforces. This file is NOT compiled — it exists so CI
 // can assert the linter still detects each violation class (the lint run over
 // this directory must exit nonzero).
 

@@ -1,0 +1,54 @@
+// Seeded hook-coverage and suppression-hygiene violations. NOT compiled —
+// CI asserts the analyzer flags the unhooked protocol-state write below,
+// honors a justified hook-ok, and rejects the bare tag.
+//
+// The class mimics the protocol-class shape: it lives under a src/lock path
+// component and declares a `ProtocolObserver* audit_` member, which is what
+// the analyzer keys on.
+
+namespace lint_fixture {
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+  virtual bool enabled() const { return true; }
+  virtual void OnLockGranted(int) {}
+};
+
+class SeededLockTable {
+ public:
+  // Violation: mutates the lock table with no observer notification here or
+  // in any caller — every runtime oracle is blind to this grant.
+  void Grant(int file) {
+    slots_[count_] = file;
+    count_++;
+  }
+
+  // Hooked: the notification makes this mutation visible.
+  void GrantLoudly(int file) {
+    slots_[count_] = file;
+    count_++;
+    if (audit_ != nullptr && audit_->enabled()) {
+      audit_->OnLockGranted(file);
+    }
+  }
+
+  // Violation (bare suppression): the tag below carries no justification, so
+  // the hygiene check must reject it even though it names a real tag.
+  // hook-ok
+  void Wipe() { count_ = 0; }
+
+  // Suppressed: justified, so the hook-coverage check must stay quiet.
+  // hook-ok boot-time reset; the wipe is reported via OnSiteCrash upstream.
+  void Reset() { count_ = 0; }
+
+ private:
+  ProtocolObserver* audit_ = nullptr;
+  int slots_[16] = {};
+  int count_ = 0;
+};
+
+// Unhooked call-graph root: exposes Grant without an observer frame above it.
+void DriveSeededTable(SeededLockTable& table) { table.Grant(3); }
+
+}  // namespace lint_fixture

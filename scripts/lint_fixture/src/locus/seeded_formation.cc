@@ -1,6 +1,6 @@
 // Seeded formation-bypass violations (rule 5): this fake kernel file sends
 // 2PC / lock control messages directly through the Network instead of the
-// per-site FormationQueue. NOT compiled — CI asserts lint_locus.py flags the
+// per-site FormationQueue. NOT compiled — CI asserts locus_analyze flags the
 // blocks below and honors the form-ok suppression.
 
 #include <cstdint>
@@ -41,7 +41,7 @@ class FakeKernel {
 
   // Suppressed: deliberate bypass, justified on the line above.
   void Bootstrap(SiteId s) {
-    // Pre-boot path, the queue does not exist yet.  form-ok
+    // form-ok pre-boot path, the queue does not exist yet.
     (void)net_.Call(0, s, MakeMsg(kPrepareReq));
   }
 

@@ -1,7 +1,7 @@
 // Seeded rule-6a violation for the lint self-test (never compiled): the
 // MsgType enum declares an enumerator (kSeededOrphanReq) that the
 // MsgTypeName switch below does not name, so Message::As diagnostics would
-// print it as '?'. lint_locus.py must flag a 'message type name' finding.
+// print it as '?'. locus_analyze must flag a 'message type name' finding.
 
 enum MsgType : int32_t {
   kSeededPingReq = 1,

@@ -1,0 +1,28 @@
+// Seeded obligation-pairing violation (RPC wait timeout arming). NOT
+// compiled — CI asserts the analyzer flags the Wait() reachable without a
+// kRpcTimeout arming, and stays quiet when the arming dominates the wait.
+
+namespace lint_fixture {
+
+struct WaitQueue {
+  void Wait() {}
+};
+
+class FakeNetwork {
+ public:
+  // Violation: blocks for a reply with no timeout armed; a lost datagram
+  // would hang the caller forever.
+  void WaitBare(WaitQueue& wake) { wake.Wait(); }
+
+  // Clean: the timeout arming dominates the wait.
+  void WaitArmed(WaitQueue& wake) {
+    Schedule(kRpcTimeout);
+    wake.Wait();
+  }
+
+ private:
+  static constexpr int kRpcTimeout = 1;
+  void Schedule(int) {}
+};
+
+}  // namespace lint_fixture

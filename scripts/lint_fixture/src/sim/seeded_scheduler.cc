@@ -1,6 +1,6 @@
 // Seeded decision-point violations (rule 4): this fake engine file resolves
 // scheduling nondeterminism without consulting a SchedulePolicy. NOT
-// compiled — CI asserts lint_locus.py flags every block below.
+// compiled — CI asserts locus_analyze flags every block below.
 
 #include <cstdint>
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Structural determinism/convention analyzer for the Locus tree.
+
+Replaces scripts/lint_locus.py. Same contract — findings on stdout as
+`path:line: <class>: message`, summary on stderr, nonzero exit when anything
+is found — but built on a real lexer, scope indexer, per-function CFG, and a
+project call graph instead of line regexes. See DESIGN.md §12.
+
+Usage: python3 scripts/locus_analyze [path ...]     (default: src/)
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from driver import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,39 @@
+"""Command-line driver: collect sources, run every check, print findings."""
+
+import os
+import sys
+
+from checks import Analyzer
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def collect_sources(targets):
+    paths = []
+    for target in targets:
+        if os.path.isfile(target):
+            paths.append(target)
+            continue
+        for dirpath, _, filenames in os.walk(target):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc", ".cpp")):
+                    paths.append(os.path.join(dirpath, name))
+    return sorted(paths)
+
+
+def run(targets):
+    """(files checked, findings) for the given file/directory targets."""
+    paths = collect_sources(targets)
+    analyzer = Analyzer(ROOT)
+    return len(paths), analyzer.run(paths)
+
+
+def main(argv):
+    targets = argv[1:] or [os.path.join(ROOT, "src")]
+    checked, findings = run(targets)
+    for finding in findings:
+        print(finding)
+    print(f"locus_analyze: {checked} files checked, {len(findings)} findings",
+          file=sys.stderr)
+    return 1 if findings else 0

@@ -1,0 +1,180 @@
+"""C++ lexer for the Locus structural analyzer.
+
+Tokenizes the controlled house style of src/ into a flat stream the indexer,
+CFG builder, and checks operate on. Unlike the retired regex linter, the
+lexer knows comments from code: string literals (including raw strings),
+character literals, line and block comments, and preprocessor directives are
+consumed as single tokens, so a banned identifier inside a string or a
+commented-out line can never produce a finding, and a statement wrapped over
+five lines is one token run like any other.
+
+Comments are not discarded: suppression tags (// hook-ok <reason>, ...) and
+ordering justifications live in them, so the lexer returns a per-line comment
+map alongside the token stream.
+"""
+
+import re
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"    # String literal (ordinary, raw, char). value = source text.
+PUNCT = "punct"
+PP = "pp"            # Whole preprocessor directive (continuations folded in).
+
+# Multi-character operators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*",
+]
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_BODY = re.compile(r"[A-Za-z0-9_]")
+_NUMBER = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*")
+_RAW_STRING_OPEN = re.compile(r'R"([^ ()\\\t\n]*)\(')
+
+
+class Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+
+
+class LexedFile:
+    """Token stream plus the comment side-channel for one source file."""
+
+    def __init__(self, path, tokens, comments, line_count):
+        self.path = path
+        self.tokens = tokens
+        # line number -> concatenated comment text appearing on that line.
+        self.comments = comments
+        self.line_count = line_count
+
+    def comment_window(self, line, above=2):
+        """Comment text on `line` and up to `above` lines before it, the
+        suppression-window idiom every suppressible check shares."""
+        parts = []
+        for l in range(max(1, line - above), line + 1):
+            if l in self.comments:
+                parts.append(self.comments[l])
+        return " ".join(parts)
+
+
+def lex(path, text=None):
+    if text is None:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    tokens = []
+    comments = {}
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # Only whitespace seen since the last newline.
+
+    def add_comment(l, s):
+        comments[l] = (comments[l] + " " + s) if l in comments else s
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+        # Preprocessor directive: swallow to end of line, honoring \ splices.
+        if c == "#" and at_line_start:
+            start, start_line = i, line
+            while i < n:
+                if text[i] == "\n":
+                    if i > 0 and text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            tokens.append(Token(PP, text[start:i], start_line))
+            continue
+        at_line_start = False
+        # Line comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            add_comment(line, text[i + 2:j].strip())
+            i = j
+            continue
+        # Block comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                j = n - 2
+            body = text[i + 2:j]
+            for off, part in enumerate(body.split("\n")):
+                if part.strip():
+                    add_comment(line + off, part.strip())
+            line += body.count("\n")
+            i = j + 2
+            continue
+        # Raw string literal.
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            m = _RAW_STRING_OPEN.match(text, i)
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, m.end())
+                if j == -1:
+                    j = n - len(closer)
+                end = j + len(closer)
+                tokens.append(Token(STRING, text[i:end], line))
+                line += text.count("\n", i, end)
+                i = end
+                continue
+        # Ordinary string / char literal (prefixes like u8"" fold into the
+        # preceding identifier token, which is harmless for every check).
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            end = min(j + 1, n)
+            tokens.append(Token(STRING, text[i:end], line))
+            i = end
+            continue
+        # Identifier / keyword.
+        if _IDENT_START.match(c):
+            j = i + 1
+            while j < n and _IDENT_BODY.match(text[j]):
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], line))
+            i = j
+            continue
+        # Number (pp-number: digits, digit separators, exponents).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUMBER.match(text, i)
+            tokens.append(Token(NUMBER, m.group(0), line))
+            i = m.end()
+            continue
+        # Punctuator.
+        for p in _PUNCTUATORS:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token(PUNCT, c, line))
+            i += 1
+    return LexedFile(path, tokens, comments, line)

@@ -51,6 +51,10 @@ class ProtocolObserver {
   virtual void OnSiteCrash(const std::string&, const std::vector<int32_t>&) {}
   virtual void OnLockAccepted(const std::string&, const FileId&,
                               const ByteRange&, const LockOwner&, LockMode) {}
+  // A file's whole lock list left (installed=false) or entered
+  // (installed=true) this site's lock table during storage-site migration.
+  virtual void OnFileLocksTransferred(const std::string&, const FileId&,
+                                      bool) {}
 
   // ---- Transaction lifecycle / 2PC hooks (TransactionManager, kernel) ----
   virtual void OnTxnBegin(const TxnId&) {}
@@ -63,6 +67,9 @@ class ProtocolObserver {
                              int) {}
   virtual void OnAbortDecision(const std::string&, const TxnId&) {}
   virtual void OnCommitMessage(const std::string&, const TxnId&) {}
+  // A transaction record left (installed=false) or entered (installed=true)
+  // this site's table during process migration or recovery hand-off.
+  virtual void OnTxnRecordTransferred(const TxnId&, bool) {}
 
   // ---- Storage hooks (FileStore) ----
   virtual void OnStoreWrite(const std::string&, const FileId&,
@@ -147,6 +154,12 @@ class ObserverHub : public ProtocolObserver {
       if (o->enabled()) o->OnLockAccepted(site, file, range, owner, mode);
     }
   }
+  void OnFileLocksTransferred(const std::string& site, const FileId& file,
+                              bool installed) override {
+    for (ProtocolObserver* o : observers_) {
+      if (o->enabled()) o->OnFileLocksTransferred(site, file, installed);
+    }
+  }
   void OnTxnBegin(const TxnId& txn) override {
     for (ProtocolObserver* o : observers_) {
       if (o->enabled()) o->OnTxnBegin(txn);
@@ -187,6 +200,11 @@ class ObserverHub : public ProtocolObserver {
   void OnCommitMessage(const std::string& site, const TxnId& txn) override {
     for (ProtocolObserver* o : observers_) {
       if (o->enabled()) o->OnCommitMessage(site, txn);
+    }
+  }
+  void OnTxnRecordTransferred(const TxnId& txn, bool installed) override {
+    for (ProtocolObserver* o : observers_) {
+      if (o->enabled()) o->OnTxnRecordTransferred(txn, installed);
     }
   }
   void OnStoreWrite(const std::string& site, const FileId& file, const ByteRange& range,

@@ -189,6 +189,8 @@ std::string FormationQueue::PendingSummary() const {
 void FormationQueue::TestInjectWithoutTimer(SiteId to, Message msg) {
   DestQueue& q = queues_[to];
   q.bytes += msg.size_bytes;
+  // obligation-ok test seam: deliberately enqueues with no flush registered
+  // so crash tests can cover the batch-stranded window.
   q.items.push_back(FormItem{std::move(msg), 0, false});
 }
 

@@ -133,6 +133,8 @@ FileStore::FileState& FileStore::LoadState(const FileId& file) {
   FileState state;
   state.inode = *inode;
   state.working_size = inode->size;
+  // hook-ok deterministic first-touch cache fill from the on-disk inode, not
+  // a protocol event; subsequent reads/writes are hooked at their call sites.
   auto [pos, unused] = files_.emplace(file, std::move(state));
   return pos->second;
 }

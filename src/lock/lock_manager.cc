@@ -152,11 +152,17 @@ LockList LockManager::TakeFileLocks(const FileId& file) {
   }
   LockList list = std::move(it->second);
   files_.erase(it);
+  if (Audited()) {
+    audit_->OnFileLocksTransferred(site_name_, file, /*installed=*/false);
+  }
   return list;
 }
 
 void LockManager::InstallFileLocks(const FileId& file, LockList list) {
   files_[file] = std::move(list);
+  if (Audited()) {
+    audit_->OnFileLocksTransferred(site_name_, file, /*installed=*/true);
+  }
   RetryWaiters();
 }
 

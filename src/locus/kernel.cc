@@ -27,17 +27,6 @@ Message MakeMsg(MsgType type, T payload, int32_t size_bytes = kControlMsgBytes) 
   return m;
 }
 
-std::vector<SiteId> ParticipantSites(const std::vector<UsedFile>& files) {
-  std::vector<SiteId> sites;
-  for (const UsedFile& f : files) {
-    if (std::find(sites.begin(), sites.end(), f.storage_site) == sites.end()) {
-      sites.push_back(f.storage_site);
-    }
-  }
-  std::sort(sites.begin(), sites.end());
-  return sites;
-}
-
 }  // namespace
 
 Kernel::Kernel(System* system, SiteId site)

@@ -1,7 +1,8 @@
 // Wire names for the kernel protocol's message types. Registered with the
 // network layer (RegisterMessageTypeNamer) so Message::As mismatch aborts and
 // unhandled-message traces identify messages by name instead of raw number.
-// lint_locus.py rule 6 checks that every MsgType enumerator has a case here.
+// locus_analyze's non-exhaustive-switch check verifies every MsgType
+// enumerator has a case here.
 
 #include "src/locus/messages.h"
 

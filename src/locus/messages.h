@@ -224,7 +224,7 @@ struct TxnStatusReply {
 };
 
 // Stable wire name of a MsgType ("commit-txn-req"); "?" for unknown values.
-// Defined in messages.cc; rule 6 of lint_locus.py keeps it exhaustive.
+// Defined in messages.cc; locus_analyze's switch check keeps it exhaustive.
 const char* MsgTypeName(int32_t type);
 // Installs MsgTypeName as the network layer's message-type namer
 // (idempotent; every Kernel construction calls it).

@@ -29,6 +29,9 @@ std::unique_ptr<TxnRecord> TransactionManager::Take(const TxnId& txn) {
   }
   std::unique_ptr<TxnRecord> record = std::move(it->second);
   records_.erase(it);
+  if (Audited()) {
+    audit_->OnTxnRecordTransferred(txn, /*installed=*/false);
+  }
   return record;
 }
 
@@ -36,6 +39,9 @@ void TransactionManager::Install(std::unique_ptr<TxnRecord> record) {
   assert(record != nullptr);
   TxnId id = record->id;
   records_[id] = std::move(record);
+  if (Audited()) {
+    audit_->OnTxnRecordTransferred(id, /*installed=*/true);
+  }
   // Wake any barrier waiter that raced the migration.
   auto it = member_barriers_.find(id);
   if (it != member_barriers_.end()) {
@@ -44,6 +50,8 @@ void TransactionManager::Install(std::unique_ptr<TxnRecord> record) {
 }
 
 void TransactionManager::Erase(const TxnId& txn) {
+  // hook-ok record removal is the tail of a commit/abort whose decision the
+  // caller already reported via OnCommitPoint/OnAbortDecision.
   records_.erase(txn);
   auto it = member_barriers_.find(txn);
   if (it != member_barriers_.end()) {
@@ -97,6 +105,8 @@ void TransactionManager::WaitMembersDone(const TxnId& txn) {
     }
     auto it = member_barriers_.find(txn);
     if (it == member_barriers_.end()) {
+      // hook-ok barrier bookkeeping, not protocol state; membership events
+      // are reported by OnMemberJoined/OnMemberExited.
       it = member_barriers_.emplace(txn, std::make_unique<WaitQueue>(sim_)).first;
     }
     it->second->Wait();

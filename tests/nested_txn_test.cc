@@ -72,8 +72,9 @@ TEST_P(NestedTxnTest, SubWorkInvisibleOutsideUntilTopCommit) {
 INSTANTIATE_TEST_SUITE_P(BothModes, NestedTxnTest,
                          ::testing::Values(NestedTxnEngine::Mode::kFullNested,
                                            NestedTxnEngine::Mode::kSimpleNested),
-                         [](const auto& info) {
-                           return info.param == NestedTxnEngine::Mode::kFullNested
+                         [](const auto& mode_info) {
+                           return mode_info.param ==
+                                          NestedTxnEngine::Mode::kFullNested
                                       ? "full"
                                       : "simple";
                          });
